@@ -1,0 +1,92 @@
+// Command tango-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tango-bench                 # run the whole quick suite
+//	tango-bench -exp fig13      # one experiment
+//	tango-bench -full           # paper-scale configuration (slow)
+//	tango-bench -list           # list experiment IDs
+//
+// Output is the text-table rendering of each figure plus the notes that
+// compare the measured shape against the numbers the paper reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment ID to run (default: all)")
+		full = flag.Bool("full", false, "paper-scale configuration (much slower)")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+		seed = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	type entry struct {
+		id  string
+		fn  func(experiments.Config) *experiments.Result
+		des string
+	}
+	wall := func(f func()) time.Duration {
+		start := time.Now()
+		f()
+		return time.Since(start)
+	}
+	entries := []entry{
+		{"fig1", experiments.Fig1, "industrial edge-cloud measurement (motivation)"},
+		{"fig9", experiments.Fig9, "HRM vs K8s-native under P1-P3"},
+		{"dvpa", experiments.DVPAMicro, "D-VPA vs native VPA scaling operation"},
+		{"fig10", experiments.Fig10, "QoS re-assurance on/off"},
+		{"fig11ab", experiments.Fig11ab, "LC scheduling algorithms"},
+		{"dsslc-decision", func(c experiments.Config) *experiments.Result {
+			return experiments.DecisionTime(c, wall)
+		}, "DSS-LC decision time at 500/1000 nodes"},
+		{"fig11c", experiments.Fig11c, "BE scheduling algorithms"},
+		{"fig11d", experiments.Fig11d, "GNN structure ablation"},
+		{"fig12", experiments.Fig12, "4x4 algorithm pairing matrix"},
+		{"fig13", experiments.Fig13, "Tango vs CERES vs DSACO at scale"},
+		{"failover", experiments.Failover, "extension: worker failures mid-run"},
+		{"scalability", func(c experiments.Config) *experiments.Result {
+			return experiments.Scalability(c, wall)
+		}, "extension: decision-time scaling sweep"},
+		{"ablation-masking", experiments.AblationMasking, "policy context filtering ablation"},
+		{"ablation-reward", experiments.AblationReward, "reward split ablation"},
+		{"ablation-preemption", experiments.AblationPreemption, "BE preemption ablation"},
+	}
+
+	if *list {
+		for _, e := range entries {
+			fmt.Printf("%-20s %s\n", e.id, e.des)
+		}
+		return
+	}
+
+	cfg := experiments.Quick()
+	if *full {
+		cfg = experiments.Full()
+	}
+	cfg.Seed = *seed
+
+	ran := 0
+	for _, e := range entries {
+		if *exp != "" && e.id != *exp {
+			continue
+		}
+		start := time.Now()
+		r := e.fn(cfg)
+		fmt.Println(r.String())
+		fmt.Printf("(%s took %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,144 @@
+// Command tango-sim runs one mixed-service edge-cloud simulation and
+// prints the per-period metrics and the final summary.
+//
+// Usage examples:
+//
+//	tango-sim                                   # Tango on the 4-cluster testbed
+//	tango-sim -system ceres -pattern P1         # CERES under pattern P1
+//	tango-sim -virtual 100 -duration 30s        # dual-space scale
+//	tango-sim -system k8s -series               # print the period series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "tango", "system to run: tango | k8s | ceres | dsaco")
+		pattern  = flag.String("pattern", "P3", "workload pattern: P1 | P2 | P3 | diurnal")
+		duration = flag.Duration("duration", 20*time.Second, "workload duration (virtual time)")
+		drain    = flag.Duration("drain", 8*time.Second, "extra virtual time to drain in-flight work")
+		virtual  = flag.Int("virtual", 0, "additional virtual clusters beyond the 4 physical ones")
+		topoFile = flag.String("topo", "", "load the topology from a JSON file (see topo.ReadJSON)")
+		lcRate   = flag.Float64("lc-rate", 60, "LC requests per second (system-wide)")
+		beRate   = flag.Float64("be-rate", 25, "BE requests per second (system-wide)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		series   = flag.Bool("series", false, "print per-period series")
+	)
+	flag.Parse()
+
+	var tp *topo.Topology
+	switch {
+	case *topoFile != "":
+		f, err := os.Open(*topoFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tp, err = topo.ReadJSON(f)
+		_ = f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *virtual > 0:
+		tp = topo.DualSpace(*virtual, *seed)
+	default:
+		tp = topo.PhysicalTestbed()
+	}
+
+	var pat trace.Pattern
+	switch *pattern {
+	case "P1":
+		pat = trace.P1
+	case "P2":
+		pat = trace.P2
+	case "P3":
+		pat = trace.P3
+	case "diurnal":
+		pat = trace.Diurnal
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+
+	var clusters []topo.ClusterID
+	for _, c := range tp.Clusters {
+		clusters = append(clusters, c.ID)
+	}
+	gen := trace.DefaultGenConfig(clusters, pat, *duration, *seed)
+	gen.LCRatePerSec = *lcRate
+	gen.BERatePerSec = *beRate
+	reqs := trace.Generate(gen)
+
+	var opts core.Options
+	switch *system {
+	case "tango":
+		opts = core.Tango(tp, *seed)
+	case "k8s":
+		opts = baselines.K8sNative(tp, reqs, *seed)
+	case "ceres":
+		opts = baselines.CERES(tp, *seed)
+	case "dsaco":
+		opts = baselines.DSACO(tp, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	fmt.Printf("system=%s pattern=%s clusters=%d workers=%d requests=%d (LC %d / BE %d)\n",
+		*system, pat, len(tp.Clusters), len(tp.Nodes)-len(tp.Clusters), len(reqs),
+		countClass(reqs, trace.LC), countClass(reqs, trace.BE))
+
+	start := time.Now()
+	sys := core.New(opts)
+	sys.Inject(reqs)
+	sys.Run(*duration + *drain)
+	elapsed := time.Since(start)
+
+	sum := sys.Summarize(*system)
+	tb := metrics.NewTable("summary", "metric", "value")
+	tb.AddRowF("LC scheduler", sum.LCSched)
+	tb.AddRowF("BE scheduler", sum.BESched)
+	tb.AddRowF("QoS satisfaction rate", sum.QoSRate)
+	tb.AddRowF("BE throughput (completed)", sum.Throughput)
+	tb.AddRowF("mean utilization %", sum.MeanUtil*100)
+	tb.AddRowF("abandoned LC requests", sum.Abandoned)
+	tb.AddRowF("mean LC latency ms", sum.MeanLCLatMs)
+	tb.AddRowF("virtual time simulated", *duration+*drain)
+	tb.AddRowF("wall time", elapsed.Round(time.Millisecond))
+	fmt.Println(tb.String())
+
+	if *series {
+		m := sys.Metrics
+		st := metrics.NewTable("per-period series (800ms periods)",
+			"period", "util", "lc-util", "be-util", "qos", "be-done", "abandoned", "p95-ms")
+		for i := range m.UtilSeries.Values {
+			st.AddRowF(i,
+				m.UtilSeries.Values[i], m.LCUtilSeries.Values[i], m.BEUtilSeries.Values[i],
+				m.QoSRateSeries.Values[i], m.ThroughputSer.Values[i],
+				m.AbandonedSeries.Values[i], m.TailLatencySer.Values[i])
+		}
+		fmt.Println(st.String())
+	}
+}
+
+func countClass(reqs []trace.Request, c trace.Class) int {
+	n := 0
+	for _, r := range reqs {
+		if r.Class == c {
+			n++
+		}
+	}
+	return n
+}

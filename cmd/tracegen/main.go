@@ -1,0 +1,85 @@
+// Command tracegen generates synthetic mixed-service workload traces
+// (the stand-in for the 2019 Google cluster-data, see internal/trace)
+// and writes them as CSV.
+//
+// Usage:
+//
+//	tracegen -duration 60s -pattern diurnal -clusters 8 > trace.csv
+//	tracegen -stats -duration 60s            # summary only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 30*time.Second, "trace duration")
+		pattern  = flag.String("pattern", "P3", "P1 | P2 | P3 | diurnal")
+		clusters = flag.Int("clusters", 4, "number of clusters receiving load")
+		lcRate   = flag.Float64("lc-rate", 60, "LC requests/second")
+		beRate   = flag.Float64("be-rate", 25, "BE requests/second")
+		seed     = flag.Int64("seed", 1, "random seed")
+		stats    = flag.Bool("stats", false, "print summary statistics instead of CSV")
+	)
+	flag.Parse()
+
+	var pat trace.Pattern
+	switch *pattern {
+	case "P1":
+		pat = trace.P1
+	case "P2":
+		pat = trace.P2
+	case "P3":
+		pat = trace.P3
+	case "diurnal":
+		pat = trace.Diurnal
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+
+	ids := make([]topo.ClusterID, *clusters)
+	for i := range ids {
+		ids[i] = topo.ClusterID(i)
+	}
+	cfg := trace.DefaultGenConfig(ids, pat, *duration, *seed)
+	cfg.LCRatePerSec = *lcRate
+	cfg.BERatePerSec = *beRate
+	reqs := trace.Generate(cfg)
+
+	if *stats {
+		s := trace.Summarize(reqs)
+		fmt.Printf("requests: %d total, %d LC, %d BE\n", s.Total, s.LCCount, s.BECount)
+		cat := trace.DefaultCatalog()
+		var types []trace.TypeID
+		for t := range s.PerType {
+			types = append(types, t)
+		}
+		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		for _, t := range types {
+			fmt.Printf("  type %d (%-16s): %6d\n", t, cat.Type(t).Name, s.PerType[t])
+		}
+		var cs []topo.ClusterID
+		for c := range s.PerCluster {
+			cs = append(cs, c)
+		}
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+		for _, c := range cs {
+			fmt.Printf("  cluster %d: %6d\n", c, s.PerCluster[c])
+		}
+		return
+	}
+
+	if err := trace.WriteCSV(os.Stdout, reqs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

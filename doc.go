@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "Tango: Harmonious
+// Management and Scheduling for Mixed Services Co-located among
+// Distributed Edge-Clouds" (ICPP 2023).
+//
+// The implementation lives under internal/: the Tango framework itself
+// (internal/core), Harmonious Resource Management (internal/hrm), the
+// DSS-LC and DCG-BE traffic schedulers (internal/dsslc, internal/dcgbe)
+// and every substrate they depend on — a deterministic discrete-event
+// simulator, a behaviour-level Kubernetes model with cgroups, a min-cost
+// max-flow solver, a neural-network/GraphSAGE/deep-RL stack and a
+// synthetic workload generator. See DESIGN.md for the system inventory
+// and EXPERIMENTS.md for the paper-versus-measured results.
+//
+// The benchmarks in bench_test.go regenerate every figure of the paper's
+// evaluation; cmd/tango-bench does the same from the command line.
+package repro

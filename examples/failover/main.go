@@ -1,0 +1,59 @@
+// Failover: failure injection on the edge. Half-way through a mixed
+// workload, two worker nodes of the hottest cluster fail; their running
+// and queued requests are displaced back to the masters and Tango's
+// dispatchers route around the dead nodes (DSS-LC drops them from the
+// MCNF graph, DCG-BE masks them out of the policy). The nodes recover
+// later and traffic flows back.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+func main() {
+	tp := topo.PhysicalTestbed()
+	var clusters []topo.ClusterID
+	for _, c := range tp.Clusters {
+		clusters = append(clusters, c.ID)
+	}
+	gen := trace.DefaultGenConfig(clusters, trace.P3, 24*time.Second, 5)
+	gen.LCRatePerSec = 80
+	gen.BERatePerSec = 30
+	gen.ClusterWeights = []float64{4, 1, 1, 1} // cluster 0 is hot
+	reqs := trace.Generate(gen)
+
+	sys := core.New(core.Tango(tp, 5))
+	sys.Inject(reqs)
+
+	// Fail two of the hot cluster's four workers during the middle third.
+	victims := tp.Cluster(0).Workers[:2]
+	for _, v := range victims {
+		sys.FailNode(v, 8*time.Second)
+		sys.RecoverNode(v, 16*time.Second)
+	}
+	fmt.Printf("failing workers %v at t=8s, recovering at t=16s\n\n", victims)
+
+	sys.Run(30 * time.Second)
+
+	m := sys.Metrics
+	tb := metrics.NewTable("result", "metric", "value")
+	tb.AddRowF("LC arrived", m.LC.Arrived)
+	tb.AddRowF("LC satisfied", m.LC.Satisfied)
+	tb.AddRowF("QoS rate", m.LC.Rate())
+	tb.AddRowF("abandoned", m.LC.Abandoned)
+	tb.AddRowF("BE completed", m.BE.Completed)
+	fmt.Println(tb.String())
+
+	st := metrics.NewTable("QoS per 800ms period (failure window = periods 10..20)",
+		"period", "qos", "util %")
+	for i := range m.QoSRateSeries.Values {
+		st.AddRowF(i, m.QoSRateSeries.Values[i], m.UtilSeries.Values[i]*100)
+	}
+	fmt.Println(st.String())
+}

@@ -1,0 +1,51 @@
+// Quickstart: build the paper's 4-cluster physical testbed, run Tango
+// over a mixed LC/BE workload and print the outcome. This is the
+// smallest end-to-end use of the public API:
+//
+//	topology  -> topo.PhysicalTestbed()
+//	workload  -> trace.Generate(...)
+//	system    -> core.New(core.Tango(...))
+//	run       -> sys.Inject(reqs); sys.Run(until)
+//	results   -> sys.Summarize(...) and sys.Metrics
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+func main() {
+	// 1. The edge-cloud system: 4 clusters, each 1 master + 4 workers.
+	tp := topo.PhysicalTestbed()
+
+	// 2. A 15-second mixed workload: both classes arrive randomly (P3).
+	var clusters []topo.ClusterID
+	for _, c := range tp.Clusters {
+		clusters = append(clusters, c.ID)
+	}
+	cfg := trace.DefaultGenConfig(clusters, trace.P3, 15*time.Second, 42)
+	cfg.LCRatePerSec = 60
+	cfg.BERatePerSec = 25
+	reqs := trace.Generate(cfg)
+
+	// 3. Tango: HRM allocation + D-VPA + re-assurance, DSS-LC for LC
+	//    traffic and DCG-BE for BE traffic.
+	sys := core.New(core.Tango(tp, 42))
+
+	// 4. Run on virtual time: inject arrivals, simulate, drain.
+	sys.Inject(reqs)
+	sys.Run(20 * time.Second)
+
+	// 5. Read the results.
+	s := sys.Summarize("tango")
+	fmt.Printf("requests:        %d LC + %d BE\n", sys.Metrics.LC.Arrived, sys.Metrics.BE.Arrived)
+	fmt.Printf("QoS rate:        %.1f%% of LC requests met their tail-latency target\n", s.QoSRate*100)
+	fmt.Printf("BE throughput:   %d requests completed\n", s.Throughput)
+	fmt.Printf("mean utilization %.1f%%\n", s.MeanUtil*100)
+	fmt.Printf("mean LC latency  %.0f ms\n", s.MeanLCLatMs)
+	fmt.Printf("abandoned LC:    %d\n", s.Abandoned)
+}

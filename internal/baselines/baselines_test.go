@@ -1,0 +1,125 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+func testTrace(t *topo.Topology, dur time.Duration, seed int64) []trace.Request {
+	var cs []topo.ClusterID
+	for _, c := range t.Clusters {
+		cs = append(cs, c.ID)
+	}
+	cfg := trace.DefaultGenConfig(cs, trace.P3, dur, seed)
+	cfg.LCRatePerSec = 30
+	cfg.BERatePerSec = 12
+	return trace.Generate(cfg)
+}
+
+func TestK8sNativeRuns(t *testing.T) {
+	tp := topo.PhysicalTestbed()
+	reqs := testTrace(tp, 6*time.Second, 1)
+	sys := core.New(K8sNative(tp, reqs, 1))
+	sys.Inject(reqs)
+	sys.Run(10 * time.Second)
+	if sys.LCSchedulerName() != "k8s-native" || sys.BESchedulerName() != "k8s-native" {
+		t.Fatalf("schedulers %s/%s", sys.LCSchedulerName(), sys.BESchedulerName())
+	}
+	if sys.Metrics.LC.Completed == 0 {
+		t.Fatal("k8s-native completed nothing")
+	}
+}
+
+func TestCERESStaysLocal(t *testing.T) {
+	tp := topo.PhysicalTestbed()
+	sys := core.New(CERES(tp, 2))
+	// Track every dispatched request's target cluster via outcomes.
+	reqs := testTrace(tp, 6*time.Second, 2)
+	sys.Inject(reqs)
+	sys.Run(10 * time.Second)
+	if sys.LCSchedulerName() != "local-load-greedy" {
+		t.Fatalf("LC sched = %s", sys.LCSchedulerName())
+	}
+	if sys.Metrics.LC.Completed == 0 || sys.Metrics.BE.Completed == 0 {
+		t.Fatal("CERES completed nothing")
+	}
+}
+
+func TestLocalOnlyPicksWithinCluster(t *testing.T) {
+	tp := topo.PhysicalTestbed()
+	sys := core.New(CERES(tp, 3))
+	e := sys.Engine
+	lo := &LocalOnly{Engine: e, Inner: pickFirst{}}
+	for c := 0; c < 4; c++ {
+		r := e.NewRequest(trace.Request{ID: int64(c), Type: 1, Class: trace.LC, Cluster: topo.ClusterID(c)})
+		id, ok := lo.Pick(r, nil)
+		if !ok {
+			t.Fatal("pick failed")
+		}
+		if e.Node(id).Cluster != topo.ClusterID(c) {
+			t.Fatalf("request from cluster %d dispatched to cluster %d", c, e.Node(id).Cluster)
+		}
+	}
+	if lo.Name() != "local-first" {
+		t.Fatalf("name = %s", lo.Name())
+	}
+}
+
+type pickFirst struct{}
+
+func (pickFirst) Name() string { return "first" }
+func (pickFirst) Pick(r *engine.Request, cands []*engine.Node) (topo.NodeID, bool) {
+	if len(cands) == 0 {
+		return 0, false
+	}
+	return cands[0].ID, true
+}
+
+func TestDSACORuns(t *testing.T) {
+	tp := topo.PhysicalTestbed()
+	sys := core.New(DSACO(tp, 4))
+	reqs := testTrace(tp, 6*time.Second, 4)
+	sys.Inject(reqs)
+	sys.Run(10 * time.Second)
+	if sys.LCSchedulerName() != "GNN-SAC" {
+		t.Fatalf("LC sched = %s", sys.LCSchedulerName())
+	}
+	if sys.Metrics.LC.Completed == 0 || sys.Metrics.BE.Completed == 0 {
+		t.Fatal("DSACO completed nothing")
+	}
+}
+
+// Tango must beat the baselines on the combined objective (Fig. 13's
+// shape): higher utilization than CERES, higher QoS than DSACO, higher
+// throughput than CERES.
+func TestTangoBeatsBaselinesOnShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison run is slow")
+	}
+	tp := topo.PhysicalTestbed()
+	dur := 20 * time.Second
+	reqs := testTrace(tp, dur, 5)
+	run := func(o core.Options) core.Summary {
+		sys := core.New(o)
+		sys.Inject(reqs)
+		sys.Run(dur + 5*time.Second)
+		return sys.Summarize("x")
+	}
+	tango := run(core.Tango(tp, 5))
+	ceres := run(CERES(tp, 5))
+	dsaco := run(DSACO(tp, 5))
+	t.Logf("tango: %+v", tango)
+	t.Logf("ceres: %+v", ceres)
+	t.Logf("dsaco: %+v", dsaco)
+	if tango.QoSRate < dsaco.QoSRate-0.02 {
+		t.Errorf("Tango QoS %.3f below DSACO %.3f", tango.QoSRate, dsaco.QoSRate)
+	}
+	if tango.Throughput < ceres.Throughput {
+		t.Errorf("Tango throughput %d below CERES %d", tango.Throughput, ceres.Throughput)
+	}
+}

@@ -1,0 +1,57 @@
+package cgroup
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render returns a human-readable tree of the hierarchy with the
+// effective limits at every level — the equivalent of walking
+// /sys/fs/cgroup by hand when debugging a D-VPA resize.
+func (h *Hierarchy) Render() string {
+	var b strings.Builder
+	var rec func(g *Group, depth int)
+	rec = func(g *Group, depth int) {
+		indent := strings.Repeat("  ", depth)
+		l := g.Limits()
+		cpu, mem := "max", "max"
+		if l.CPUQuota > 0 {
+			cpu = fmt.Sprintf("%dm", l.CPUQuota)
+		}
+		if l.MemoryMiB > 0 {
+			mem = fmt.Sprintf("%dMi", l.MemoryMiB)
+		}
+		fmt.Fprintf(&b, "%s%s cpu=%s mem=%s shares=%d writes=%d\n",
+			indent, g.Name(), cpu, mem, l.CPUShares, g.Writes())
+		for _, name := range g.Children() {
+			rec(g.children[name], depth+1)
+		}
+	}
+	rec(h.root, 0)
+	return b.String()
+}
+
+// Stats summarizes the hierarchy for monitoring.
+type Stats struct {
+	Groups      int
+	Pods        int
+	Containers  int
+	TotalWrites uint64
+}
+
+// Stats walks the tree and counts groups by level.
+func (h *Hierarchy) Stats() Stats {
+	var s Stats
+	h.Walk(func(g *Group) {
+		s.Groups++
+		s.TotalWrites += g.Writes()
+		depth := strings.Count(g.Path(), "/")
+		switch depth {
+		case 2:
+			s.Pods++
+		case 3:
+			s.Containers++
+		}
+	})
+	return s
+}

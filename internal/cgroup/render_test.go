@@ -1,0 +1,72 @@
+package cgroup
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/res"
+)
+
+func TestRenderTree(t *testing.T) {
+	h := NewHierarchy(res.V(4000, 8192, 0))
+	pod, err := h.CreatePod(Burstable, "pod1", FromVector(res.V(1000, 2048, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CreateContainer(pod, "c0", FromVector(res.V(500, 1024, 0))); err != nil {
+		t.Fatal(err)
+	}
+	out := h.Render()
+	for _, want := range []string{"kubepods", "burstable", "pod1", "c0", "cpu=500m", "mem=1024Mi", "cpu=4000m"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Unlimited groups render as max.
+	if !strings.Contains(out, "cpu=max") {
+		t.Fatalf("qos groups should render as max:\n%s", out)
+	}
+	// Indentation shows depth: container deeper than pod.
+	var podIndent, cIndent int
+	for _, line := range strings.Split(out, "\n") {
+		trimmed := strings.TrimLeft(line, " ")
+		if strings.HasPrefix(trimmed, "pod1") {
+			podIndent = len(line) - len(trimmed)
+		}
+		if strings.HasPrefix(trimmed, "c0") {
+			cIndent = len(line) - len(trimmed)
+		}
+	}
+	if cIndent <= podIndent {
+		t.Fatalf("container not nested under pod (%d vs %d)", cIndent, podIndent)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	h := NewHierarchy(res.V(8000, 16384, 0))
+	p1, _ := h.CreatePod(Burstable, "p1", Limits{})
+	p2, _ := h.CreatePod(Guaranteed, "p2", Limits{})
+	_, _ = h.CreateContainer(p1, "a", Limits{})
+	_, _ = h.CreateContainer(p1, "b", Limits{})
+	_, _ = h.CreateContainer(p2, "c", Limits{})
+	s := h.Stats()
+	if s.Pods != 2 {
+		t.Fatalf("pods = %d", s.Pods)
+	}
+	if s.Containers != 3 {
+		t.Fatalf("containers = %d", s.Containers)
+	}
+	// root + 3 qos + 2 pods + 3 containers
+	if s.Groups != 9 {
+		t.Fatalf("groups = %d", s.Groups)
+	}
+	if s.TotalWrites != 0 {
+		t.Fatalf("writes = %d", s.TotalWrites)
+	}
+	if err := h.SetLimits(p1, FromVector(res.V(1000, 1024, 0))); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats().TotalWrites != 1 {
+		t.Fatal("write not counted")
+	}
+}

@@ -1,0 +1,565 @@
+// Package core is the Tango framework itself (§3, Figure 3): it wires
+// the LC traffic dispatcher on every master node, the centralized BE
+// traffic dispatcher on the central cluster, the state storage fed by
+// the metrics pipeline, the QoS detector / re-assurer, the D-VPA-backed
+// resource policy and the execution engine into one runnable System.
+//
+// The System follows the paper's dispatch–allocate–adjust operation:
+// (1) arriving requests enter the LC or BE scheduling queue of their
+// cluster's master; LC requests are dispatched by the local DSS-LC
+// dispatcher while BE requests are forwarded to the central cluster and
+// dispatched by DCG-BE; (2) on the worker, the resource policy (HRM
+// regulations through D-VPA) allocates the minimum required resources
+// and reclaims them at completion; (3) the QoS detector feeds the
+// re-assurance mechanism, which adjusts the per-node minimum
+// allocations.
+//
+// Every component is swappable, which is how the baseline systems
+// (native K8s, CERES, DSACO) and the Figure 12 algorithm pairings are
+// expressed.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dcgbe"
+	"repro/internal/dsslc"
+	"repro/internal/engine"
+	"repro/internal/hrm"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/state"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// BatchLCScheduler is the batched dispatch interface DSS-LC provides.
+type BatchLCScheduler interface {
+	ScheduleBatch(c topo.ClusterID, reqs []*engine.Request) dsslc.Assignment
+	Name() string
+}
+
+// OutcomeObserver receives request outcomes (QoS detector consumers).
+type OutcomeObserver interface {
+	NotifyOutcome(o engine.Outcome)
+}
+
+// Options configures a System. Zero values select the paper's Tango
+// configuration where meaningful.
+type Options struct {
+	Topo    *topo.Topology
+	Catalog *trace.Catalog
+	Seed    int64
+
+	// Policy is the node resource policy; nil = HRM regulations.
+	Policy engine.Policy
+	// MakeLC builds the LC scheduler; nil = DSS-LC.
+	MakeLC func(e *engine.Engine, seed int64) any
+	// MakeBE builds the BE scheduler; nil = DCG-BE.
+	MakeBE func(e *engine.Engine, seed int64) any
+
+	// Reassure enables the QoS re-assurance mechanism (§4.3).
+	Reassure bool
+	// Boost enables BE idle-resource maximization (§4.1).
+	Boost bool
+	// CentralBE forwards BE requests to the central cluster before
+	// scheduling (adds WAN latency, §5.3); false dispatches BE locally.
+	CentralBE bool
+	// ScaleLatency models the per-admission vertical scaling cost
+	// (D-VPA's 23 ms; 0 for static allocation baselines).
+	ScaleLatency time.Duration
+	// DispatchEvery is the dispatcher cadence.
+	DispatchEvery time.Duration
+	// Period is the metrics collection period (800 ms in §6.2).
+	Period time.Duration
+	// LCAbandonFactor forwards to engine.Config.
+	LCAbandonFactor float64
+	// GeoRadiusKm bounds LC candidate clusters (footnote 4).
+	GeoRadiusKm float64
+}
+
+// Tango returns the full Tango configuration over a topology.
+func Tango(t *topo.Topology, seed int64) Options {
+	return Options{
+		Topo: t, Seed: seed,
+		Reassure: true, Boost: true, CentralBE: true,
+		ScaleLatency: hrm.DVPAOpLatency,
+	}
+}
+
+// System is a running edge-cloud deployment.
+type System struct {
+	Sim     *sim.Simulator
+	Topo    *topo.Topology
+	Engine  *engine.Engine
+	Catalog *trace.Catalog
+
+	lcSched   any
+	beSched   any
+	reassurer *hrm.ReAssurer
+	booster   *hrm.Booster
+	storage   *state.Storage
+	observers []func(engine.Outcome)
+
+	opts Options
+
+	lcQueues map[topo.ClusterID][]*engine.Request
+	beQueue  []*engine.Request
+	central  topo.ClusterID
+
+	Metrics *Collector
+
+	periodics []*sim.Event
+}
+
+// New assembles a System from options.
+func New(o Options) *System {
+	if o.Topo == nil {
+		panic("core: Options.Topo required")
+	}
+	if o.Catalog == nil {
+		o.Catalog = trace.DefaultCatalog()
+	}
+	if o.Policy == nil {
+		o.Policy = hrm.NewRegulations()
+	}
+	if o.DispatchEvery <= 0 {
+		o.DispatchEvery = 50 * time.Millisecond
+	}
+	if o.Period <= 0 {
+		o.Period = 800 * time.Millisecond
+	}
+	if o.LCAbandonFactor == 0 {
+		o.LCAbandonFactor = 1
+	}
+	if o.GeoRadiusKm == 0 {
+		o.GeoRadiusKm = 500
+	}
+
+	s := &System{
+		Sim:      sim.New(),
+		Topo:     o.Topo,
+		Catalog:  o.Catalog,
+		opts:     o,
+		lcQueues: map[topo.ClusterID][]*engine.Request{},
+		central:  o.Topo.CentralCluster().ID,
+	}
+	s.Metrics = NewCollector(o.Period)
+	s.Engine = engine.New(engine.Config{
+		Sim: s.Sim, Topo: o.Topo, Catalog: o.Catalog, Policy: o.Policy,
+		ScaleLatency:    o.ScaleLatency,
+		LCAbandonFactor: o.LCAbandonFactor,
+		OnOutcome:       s.onOutcome,
+		OnDisplaced:     s.redispatch,
+	})
+	if o.MakeLC == nil {
+		o.MakeLC = func(e *engine.Engine, seed int64) any { return dsslc.New(e, seed) }
+	}
+	if o.MakeBE == nil {
+		o.MakeBE = func(e *engine.Engine, seed int64) any { return dcgbe.New(e, seed) }
+	}
+	s.lcSched = o.MakeLC(s.Engine, o.Seed)
+	s.beSched = o.MakeBE(s.Engine, o.Seed+1)
+
+	if o.Reassure {
+		s.reassurer = hrm.NewReAssurer(s.Engine)
+		s.observers = append(s.observers, s.reassurer.Observe)
+	}
+	if o.Boost {
+		s.booster = hrm.NewBooster(s.Engine)
+	}
+	if obs, ok := s.beSched.(OutcomeObserver); ok {
+		s.observers = append(s.observers, obs.NotifyOutcome)
+	}
+	// The DCG-BE state includes the current slack score δ_k (§5.3.1);
+	// feed it from the re-assurer's windows when both are present.
+	if be, ok := s.beSched.(*dcgbe.Scheduler); ok && s.reassurer != nil {
+		be.SlackFn = s.nodeSlack
+	}
+	// The state storage (Fig. 3 ➋) receives Prometheus pushes and the
+	// QoS detector's slack scores every 100 ms.
+	s.storage = state.New(s.Engine)
+	if s.reassurer != nil {
+		s.storage.SlackFn = s.nodeSlack
+	}
+	s.Metrics.Bind(s)
+	return s
+}
+
+// StateStorage exposes the masters' state storage (Fig. 3 ➋).
+func (s *System) StateStorage() *state.Storage { return s.storage }
+
+// nodeSlack returns the worst (minimum) slack score over the LC services
+// observed on the node in the current window, 0 when nothing is known.
+func (s *System) nodeSlack(id topo.NodeID) float64 {
+	worst := 0.0
+	seen := false
+	for _, st := range s.Catalog.Types {
+		if st.Class != trace.LC {
+			continue
+		}
+		if v, ok := s.reassurer.Slack(id, st.ID); ok {
+			if !seen || v < worst {
+				worst, seen = v, true
+			}
+		}
+	}
+	return worst
+}
+
+// ReAssurer exposes the re-assurance mechanism (nil when disabled).
+func (s *System) ReAssurer() *hrm.ReAssurer { return s.reassurer }
+
+// LCSchedulerName reports the LC algorithm in use.
+func (s *System) LCSchedulerName() string { return schedName(s.lcSched) }
+
+// BESchedulerName reports the BE algorithm in use.
+func (s *System) BESchedulerName() string { return schedName(s.beSched) }
+
+func schedName(v any) string {
+	if n, ok := v.(interface{ Name() string }); ok {
+		return n.Name()
+	}
+	return fmt.Sprintf("%T", v)
+}
+
+func (s *System) onOutcome(o engine.Outcome) {
+	s.Metrics.observe(o)
+	for _, obs := range s.observers {
+		obs(o)
+	}
+}
+
+// Inject schedules the arrival of trace requests.
+func (s *System) Inject(reqs []trace.Request) {
+	for _, r := range reqs {
+		r := r
+		s.Sim.Schedule(r.Arrival, func() { s.accept(r) })
+	}
+}
+
+// accept implements step (1): queue at the master (LC locally, BE
+// forwarded to the central cluster when CentralBE).
+func (s *System) accept(tr trace.Request) {
+	r := s.Engine.NewRequest(tr)
+	s.Metrics.arrived(r)
+	if r.Class == trace.LC {
+		s.lcQueues[r.Cluster] = append(s.lcQueues[r.Cluster], r)
+		return
+	}
+	if !s.opts.CentralBE || r.Cluster == s.central {
+		s.beQueue = append(s.beQueue, r)
+		return
+	}
+	// Forward to the central cluster over the WAN.
+	delay := s.Topo.ClusterRTT(r.Cluster, s.central) / 2
+	s.Sim.Schedule(delay, func() { s.beQueue = append(s.beQueue, r) })
+}
+
+// Start arms the periodic dispatchers, metric sampler, booster and
+// re-assurer.
+func (s *System) Start() {
+	s.periodics = append(s.periodics, s.Sim.Every(s.opts.DispatchEvery, s.dispatch))
+	s.periodics = append(s.periodics, s.Sim.Every(s.opts.Period, s.Metrics.tick))
+	s.periodics = append(s.periodics, s.storage.Start(s.Sim))
+	if s.booster != nil {
+		s.periodics = append(s.periodics, s.booster.Start(s.Sim))
+	}
+	if s.reassurer != nil {
+		s.periodics = append(s.periodics, s.reassurer.Start(s.Sim))
+	}
+}
+
+// Stop cancels the periodic work.
+func (s *System) Stop() {
+	for _, ev := range s.periodics {
+		ev.Cancel()
+	}
+	s.periodics = nil
+}
+
+// Run executes the whole experiment: Start, run the clock until
+// `until`, then Stop and let in-flight work complete.
+func (s *System) Run(until time.Duration) {
+	s.Start()
+	s.Sim.RunUntil(until)
+	s.Stop()
+	s.Sim.Run() // drain in-flight completions
+}
+
+// dispatch is one dispatcher round over all LC queues and the BE queue.
+func (s *System) dispatch() {
+	// LC: each master dispatches its own queue (distributed decisions).
+	for _, c := range s.Topo.Clusters {
+		q := s.lcQueues[c.ID]
+		if len(q) == 0 {
+			continue
+		}
+		s.lcQueues[c.ID] = nil
+		switch lc := s.lcSched.(type) {
+		case BatchLCScheduler:
+			a := lc.ScheduleBatch(c.ID, q)
+			for _, r := range q {
+				if nid, ok := a[r.ID]; ok {
+					s.Engine.Dispatch(r, nid)
+				} else {
+					s.requeueLC(c.ID, r)
+				}
+			}
+		case sched.Scheduler:
+			cands := sched.CandidatesLC(s.Engine, c.ID, s.opts.GeoRadiusKm)
+			for _, r := range q {
+				if nid, ok := lc.Pick(r, cands); ok {
+					s.Engine.Dispatch(r, nid)
+				} else {
+					s.requeueLC(c.ID, r)
+				}
+			}
+		default:
+			panic(fmt.Sprintf("core: LC scheduler %T implements no known interface", s.lcSched))
+		}
+	}
+	// BE: centralized dispatcher.
+	if len(s.beQueue) == 0 {
+		return
+	}
+	q := s.beQueue
+	s.beQueue = nil
+	be, ok := s.beSched.(sched.Scheduler)
+	if !ok {
+		panic(fmt.Sprintf("core: BE scheduler %T implements no known interface", s.beSched))
+	}
+	cands := sched.CandidatesBE(s.Engine)
+	for _, r := range q {
+		if nid, ok := be.Pick(r, cands); ok {
+			s.Engine.Dispatch(r, nid)
+		} else {
+			s.beQueue = append(s.beQueue, r) // retry next round
+		}
+	}
+}
+
+func (s *System) requeueLC(c topo.ClusterID, r *engine.Request) {
+	s.lcQueues[c] = append(s.lcQueues[c], r)
+}
+
+// redispatch returns requests displaced by a node failure to their
+// arrival master's scheduling queue (LC) or the central BE queue. The
+// masters learn of the failure through the state storage, so the next
+// dispatch round routes around the dead node.
+func (s *System) redispatch(reqs []*engine.Request) {
+	for _, r := range reqs {
+		if r.Class == trace.LC {
+			s.requeueLC(r.Cluster, r)
+		} else {
+			s.beQueue = append(s.beQueue, r)
+		}
+	}
+}
+
+// FailNode schedules a worker failure at virtual time `at`; its running
+// and queued requests are re-dispatched elsewhere.
+func (s *System) FailNode(id topo.NodeID, at time.Duration) {
+	s.Sim.ScheduleAt(at, func() { s.Engine.Node(id).Fail() })
+}
+
+// RecoverNode schedules the worker's recovery.
+func (s *System) RecoverNode(id topo.NodeID, at time.Duration) {
+	s.Sim.ScheduleAt(at, func() { s.Engine.Node(id).Recover() })
+}
+
+// Collector aggregates the paper's measurements into period series.
+type Collector struct {
+	Period time.Duration
+
+	sys *System
+
+	// Cumulative counters.
+	LC metrics.QoSCounter
+	BE metrics.QoSCounter
+
+	// Per-period series (one sample per 800 ms period).
+	UtilSeries      metrics.Series
+	LCUtilSeries    metrics.Series
+	BEUtilSeries    metrics.Series
+	QoSRateSeries   metrics.Series
+	ThroughputSer   metrics.Series
+	AbandonedSeries metrics.Series
+	TailLatencySer  metrics.Series
+	LCArrivalsSer   metrics.Series
+	BEArrivalsSer   metrics.Series
+
+	// Per-period scratch counters.
+	pLCArr, pBEArr       int64
+	pLCSat, pLCDone      int64
+	pBEDone              int64
+	pAbandoned           int64
+	latencies            []float64
+	sumLCLatenciesMs     float64
+	completedLCLatencies int64
+}
+
+// NewCollector builds a collector with the given period.
+func NewCollector(period time.Duration) *Collector {
+	return &Collector{
+		Period:          period,
+		UtilSeries:      metrics.Series{Name: "utilization"},
+		LCUtilSeries:    metrics.Series{Name: "lc-utilization"},
+		BEUtilSeries:    metrics.Series{Name: "be-utilization"},
+		QoSRateSeries:   metrics.Series{Name: "qos-rate"},
+		ThroughputSer:   metrics.Series{Name: "be-throughput"},
+		AbandonedSeries: metrics.Series{Name: "abandoned"},
+		TailLatencySer:  metrics.Series{Name: "lc-p95-ms"},
+		LCArrivalsSer:   metrics.Series{Name: "lc-arrivals"},
+		BEArrivalsSer:   metrics.Series{Name: "be-arrivals"},
+	}
+}
+
+// Bind attaches the collector to a system (for utilization sampling).
+func (c *Collector) Bind(s *System) { c.sys = s }
+
+func (c *Collector) arrived(r *engine.Request) {
+	if r.Class == trace.LC {
+		c.LC.Arrived++
+		c.pLCArr++
+	} else {
+		c.BE.Arrived++
+		c.pBEArr++
+	}
+}
+
+func (c *Collector) observe(o engine.Outcome) {
+	if o.Req.Class == trace.LC {
+		if o.Completed {
+			c.LC.Completed++
+			c.pLCDone++
+			if o.Satisfied {
+				c.LC.Satisfied++
+				c.pLCSat++
+			}
+			ms := float64(o.Latency) / float64(time.Millisecond)
+			c.latencies = append(c.latencies, ms)
+			c.sumLCLatenciesMs += ms
+			c.completedLCLatencies++
+		} else {
+			c.LC.Abandoned++
+			c.pAbandoned++
+		}
+		return
+	}
+	if o.Completed {
+		c.BE.Completed++
+		c.BE.Satisfied++
+		c.pBEDone++
+	}
+}
+
+// tick closes one collection period.
+func (c *Collector) tick() {
+	c.UtilSeries.Append(c.sys.Utilization())
+	lc, be := c.sys.UtilizationSplit()
+	c.LCUtilSeries.Append(lc)
+	c.BEUtilSeries.Append(be)
+	// Per-period satisfaction rate over LC requests resolved this period
+	// (completions plus abandonments), as in the paper's period plots.
+	var rate float64 = 1
+	if resolved := c.pLCDone + c.pAbandoned; resolved > 0 {
+		rate = float64(c.pLCSat) / float64(resolved)
+	}
+	c.QoSRateSeries.Append(rate)
+	c.ThroughputSer.Append(float64(c.pBEDone))
+	c.AbandonedSeries.Append(float64(c.pAbandoned))
+	p95 := percentile95(c.latencies)
+	c.TailLatencySer.Append(p95)
+	c.LCArrivalsSer.Append(float64(c.pLCArr))
+	c.BEArrivalsSer.Append(float64(c.pBEArr))
+	c.pLCArr, c.pBEArr, c.pLCSat, c.pLCDone, c.pBEDone, c.pAbandoned = 0, 0, 0, 0, 0, 0
+	c.latencies = c.latencies[:0]
+}
+
+// MeanLCLatencyMs returns the average completed-LC latency.
+func (c *Collector) MeanLCLatencyMs() float64 {
+	if c.completedLCLatencies == 0 {
+		return 0
+	}
+	return c.sumLCLatenciesMs / float64(c.completedLCLatencies)
+}
+
+func percentile95(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(v))
+	copy(cp, v)
+	// insertion sort is fine for per-period sizes
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	idx := (95*len(cp) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	return cp[idx-1]
+}
+
+// Utilization returns the current dominant-share utilization over all
+// workers, capacity-weighted by CPU.
+func (s *System) Utilization() float64 {
+	var used, capTot float64
+	for _, n := range s.Engine.Nodes() {
+		used += float64(n.Used().MilliCPU)
+		capTot += float64(n.Capacity.MilliCPU)
+	}
+	if capTot == 0 {
+		return 0
+	}
+	return used / capTot
+}
+
+// UtilizationSplit returns the CPU utilization contributed by LC and BE
+// allocations separately.
+func (s *System) UtilizationSplit() (lc, be float64) {
+	var lcUsed, beUsed, capTot float64
+	for _, n := range s.Engine.Nodes() {
+		lcUsed += float64(n.UsedByLC().MilliCPU)
+		beUsed += float64(n.UsedByBE().MilliCPU)
+		capTot += float64(n.Capacity.MilliCPU)
+	}
+	if capTot == 0 {
+		return 0, 0
+	}
+	return lcUsed / capTot, beUsed / capTot
+}
+
+// Summary condenses an experiment run.
+type Summary struct {
+	System  string
+	LCSched string
+	BESched string
+	QoSRate float64
+	// Throughput counts BE completions inside the measured horizon (the
+	// paper's long-term throughput); completions during the post-run
+	// drain do not count.
+	Throughput  int64
+	MeanUtil    float64
+	Abandoned   int64
+	MeanLCLatMs float64
+}
+
+// Summarize builds the end-of-run summary.
+func (s *System) Summarize(name string) Summary {
+	return Summary{
+		System:      name,
+		LCSched:     s.LCSchedulerName(),
+		BESched:     s.BESchedulerName(),
+		QoSRate:     s.Metrics.LC.Rate(),
+		Throughput:  int64(s.Metrics.ThroughputSer.Sum()),
+		MeanUtil:    s.Metrics.UtilSeries.Mean(),
+		Abandoned:   s.Metrics.LC.Abandoned,
+		MeanLCLatMs: s.Metrics.MeanLCLatencyMs(),
+	}
+}

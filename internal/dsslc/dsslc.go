@@ -1,0 +1,273 @@
+// Package dsslc implements DSS-LC, the Distributed Service request
+// Scheduling algorithm for LC requests (§5.2, Algorithm 2).
+//
+// Each master node runs its own instance (distributed scheduling — the
+// paper measures >97 ms RTT to the central cluster, which would consume
+// ~30% of a typical LC budget). For every LC request type k the
+// algorithm builds a Multi-Commodity Network Flow graph over the local
+// and geo-nearby clusters (footnote 4: within 500 km):
+//
+//   - worker capacity t_i^k = -min(r_ava^c/r^c_k, r_ava^m/r^m_k) (Eq. 2),
+//     where the available resources follow the §4.1 regulations (idle
+//     plus BE-held, since LC may preempt);
+//   - edges carry the transmission delay t_delay and capacity c_ij;
+//   - Google OR-Tools is replaced by the exact min-cost max-flow solver
+//     in internal/flow.
+//
+// When demand exceeds capacity (Σ t_i^k > 0), requests are split by the
+// random sorting function ρ into an immediate set R_k — routed on the
+// availability graph Ĝ_k — and an overflow set R'_k routed on Ĝ'_k,
+// whose capacities are the nodes' *total* resources scaled by the
+// augmentation factor λ (Eq. 7–8), so overflow queues proportionally to
+// the heterogeneous total capacity of each node.
+package dsslc
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/flow"
+	"repro/internal/res"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Scheduler is one master's DSS-LC instance. It implements both the
+// batch interface used by Tango's LC traffic dispatcher and (through
+// Pick) the one-request sched.Scheduler interface for pairing
+// experiments.
+type Scheduler struct {
+	Engine *engine.Engine
+	// GeoRadiusKm bounds candidate clusters (footnote 4; 500 km).
+	GeoRadiusKm float64
+	rng         *rand.Rand
+
+	// Decisions counts batch solves, LastBatch the requests routed in the
+	// most recent one (for the decision-time benchmarks).
+	Decisions int64
+}
+
+// New creates a DSS-LC scheduler with the paper's 500 km geo radius.
+func New(e *engine.Engine, seed int64) *Scheduler {
+	return &Scheduler{Engine: e, GeoRadiusKm: 500, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return "DSS-LC" }
+
+// Assignment maps request IDs to chosen workers.
+type Assignment map[int64]topo.NodeID
+
+// ScheduleBatch routes every request in the batch (all from cluster c's
+// LC queue) and returns the assignment. Requests of each type are
+// handled independently (the "multi-commodity" structure); within a
+// type the two cases of Algorithm 2 apply.
+func (s *Scheduler) ScheduleBatch(c topo.ClusterID, reqs []*engine.Request) Assignment {
+	out := Assignment{}
+	if len(reqs) == 0 {
+		return out
+	}
+	s.Decisions++
+	workers := s.candidates(c)
+	if len(workers) == 0 {
+		return out
+	}
+	byType := map[trace.TypeID][]*engine.Request{}
+	for _, r := range reqs {
+		byType[r.Type] = append(byType[r.Type], r)
+	}
+	// Deterministic type order.
+	types := make([]trace.TypeID, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+
+	// reserved tracks resources already assigned to earlier commodities
+	// (request types) of this batch: the MCNF's node capacities are
+	// shared across commodities, so each type sees what the previous
+	// ones left behind.
+	reserved := make([]res.Vector, len(workers))
+
+	for _, t := range types {
+		rs := byType[t]
+		demand := make([]res.Vector, len(workers))
+		caps := make([]int64, len(workers))
+		var capTotal int64
+		for i, w := range workers {
+			demand[i] = w.EffectiveDemand(t)
+			// Availability per §4.1 regulations (idle + BE-held), minus
+			// what earlier dispatch rounds queued at or sent toward the
+			// node and what this batch already assigned.
+			avail := w.AvailableForLC().Sub(w.QueuedLCDemand()).Sub(w.InTransit()).Sub(reserved[i]).Max(res.Vector{})
+			caps[i] = avail.CapacityCount(demand[i])
+			capTotal += caps[i]
+		}
+		book := func(counts map[int]int64) {
+			for i, n := range counts {
+				reserved[i] = reserved[i].Add(demand[i].Scale(n, 1))
+			}
+		}
+		if capTotal >= int64(len(rs)) {
+			// Case 1: capacity covers demand; route on Ĝ_k.
+			book(s.route(c, rs, workers, caps, out))
+			continue
+		}
+		// Case 2: split by the random sorting function ρ(·) — all LC
+		// services share one priority in our scenario (§5.2.2).
+		s.rng.Shuffle(len(rs), func(i, j int) { rs[i], rs[j] = rs[j], rs[i] })
+		immediate := rs[:capTotal]
+		overflow := rs[capTotal:]
+		if len(immediate) > 0 {
+			book(s.route(c, immediate, workers, caps, out))
+		}
+		// Ĝ'_k: total-resource capacities scaled by λ (Eq. 7–8).
+		totals := make([]int64, len(workers))
+		var totSum int64
+		for i, w := range workers {
+			totals[i] = w.Capacity.CapacityCount(demand[i])
+			totSum += totals[i]
+		}
+		need := int64(len(overflow))
+		scaled := scaleToSum(totals, totSum, need)
+		book(s.route(c, overflow, workers, scaled, out))
+	}
+	return out
+}
+
+// route solves one min-cost-flow instance: source → master (pending) →
+// workers (capacity caps, cost = transmission delay) → sink, then
+// assigns requests to workers according to the edge flows. It returns
+// the per-worker assignment counts so the caller can book reservations.
+func (s *Scheduler) route(c topo.ClusterID, rs []*engine.Request, workers []*engine.Node, caps []int64, out Assignment) map[int]int64 {
+	t := s.Engine.Topology()
+	masterID := t.Cluster(c).Master
+	g := flow.NewGraph()
+	src := g.AddNode()
+	master := g.AddNode()
+	sink := g.AddNode()
+	g.AddEdge(src, master, int64(len(rs)), 0)
+	edges := make([]flow.EdgeID, len(workers))
+	for i, w := range workers {
+		wn := g.AddNode()
+		// Transmission delay in microseconds as the cost (Eq. 3).
+		delayUS := int64(t.RTT(masterID, w.ID) / time.Microsecond)
+		// Link transmission capacity c_ij (Eq. 4): bound the number of
+		// requests the link can carry in one scheduling round.
+		linkCap := t.LinkBandwidth(masterID, w.ID)
+		if linkCap < 1 {
+			linkCap = 1
+		}
+		cap := caps[i]
+		if cap > linkCap {
+			cap = linkCap
+		}
+		edges[i] = g.AddEdge(master, wn, cap, delayUS)
+		g.AddEdge(wn, sink, cap, 0)
+	}
+	g.MinCostFlow(src, sink, int64(len(rs)))
+	// Distribute requests over workers by flow amounts; any residual
+	// (flow < len(rs), e.g. link caps bind) falls back to the local
+	// cluster's least-loaded worker.
+	counts := map[int]int64{}
+	ri := 0
+	for i, e := range edges {
+		f := g.Flow(e)
+		counts[i] += f
+		for ; f > 0 && ri < len(rs); f-- {
+			out[rs[ri].ID] = workers[i].ID
+			ri++
+		}
+	}
+	for ; ri < len(rs); ri++ {
+		out[rs[ri].ID] = s.leastLoadedLocal(c)
+	}
+	return counts
+}
+
+func (s *Scheduler) leastLoadedLocal(c topo.ClusterID) topo.NodeID {
+	t := s.Engine.Topology()
+	ws := t.WorkersOf(c)
+	best, bestU := ws[0], 2.0
+	for _, w := range ws {
+		n := s.Engine.Node(w)
+		if n.Down() {
+			continue
+		}
+		if u := n.Utilization(); u < bestU {
+			best, bestU = w, u
+		}
+	}
+	return best
+}
+
+func (s *Scheduler) candidates(c topo.ClusterID) []*engine.Node {
+	t := s.Engine.Topology()
+	var out []*engine.Node
+	for _, w := range t.WorkersOf(c) {
+		if n := s.Engine.Node(w); !n.Down() {
+			out = append(out, n)
+		}
+	}
+	for _, nc := range t.NeighborClusters(c, s.GeoRadiusKm) {
+		for _, w := range t.WorkersOf(nc) {
+			if n := s.Engine.Node(w); !n.Down() {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// Pick adapts DSS-LC to the one-request sched.Scheduler interface by
+// running a batch of size one.
+func (s *Scheduler) Pick(r *engine.Request, cands []*engine.Node) (topo.NodeID, bool) {
+	a := s.ScheduleBatch(r.Cluster, []*engine.Request{r})
+	id, ok := a[r.ID]
+	return id, ok
+}
+
+// scaleToSum scales vals (nonnegative, summing to totSum) so they sum to
+// need, using the largest-remainder method — the integer realization of
+// the augmentation factor λ = need/totSum of Eq. 8.
+func scaleToSum(vals []int64, totSum, need int64) []int64 {
+	out := make([]int64, len(vals))
+	if need <= 0 || len(vals) == 0 {
+		return out
+	}
+	if totSum <= 0 {
+		// No capacity information: spread evenly.
+		rem := need
+		for i := range out {
+			out[i] = rem / int64(len(out)-i)
+			rem -= out[i]
+		}
+		return out
+	}
+	type frac struct {
+		i   int
+		rem float64
+	}
+	var fr []frac
+	var sum int64
+	for i, v := range vals {
+		exact := float64(v) * float64(need) / float64(totSum)
+		fl := int64(exact)
+		out[i] = fl
+		sum += fl
+		fr = append(fr, frac{i, exact - float64(fl)})
+	}
+	sort.Slice(fr, func(a, b int) bool {
+		if fr[a].rem != fr[b].rem {
+			return fr[a].rem > fr[b].rem
+		}
+		return fr[a].i < fr[b].i
+	})
+	for k := 0; sum < need; k++ {
+		out[fr[k%len(fr)].i]++
+		sum++
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/res"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+func failEnv(onDisplaced func([]*Request), onOutcome func(Outcome)) (*sim.Simulator, *Engine) {
+	s := sim.New()
+	b := topo.NewBuilder()
+	b.AddCluster(31, 121, res.V(8000, 16384, 1000), []res.Vector{
+		res.V(4000, 8192, 500), res.V(4000, 8192, 500),
+	})
+	tp := b.Build()
+	e := New(Config{
+		Sim: s, Topo: tp, Catalog: trace.DefaultCatalog(), Policy: GreedyPolicy{},
+		OnOutcome: onOutcome, OnDisplaced: onDisplaced, LCAbandonFactor: 1,
+	})
+	return s, e
+}
+
+func TestFailDisplacesRunningAndQueued(t *testing.T) {
+	var displaced []*Request
+	s, e := failEnv(func(rs []*Request) { displaced = append(displaced, rs...) }, nil)
+	n := e.Node(1)
+	// 4 running BE (fills CPU), 2 queued BE, 1 queued LC.
+	for i := int64(0); i < 6; i++ {
+		e.DispatchLocal(e.NewRequest(trace.Request{ID: i, Type: 6, Class: trace.BE, Cluster: 0}), 1)
+	}
+	e.DispatchLocal(e.NewRequest(trace.Request{ID: 100, Type: 3, Class: trace.LC, Cluster: 0}), 1)
+	if n.RunningCount() != 4 {
+		t.Fatalf("setup: running = %d", n.RunningCount())
+	}
+	n.Fail()
+	if !n.Down() {
+		t.Fatal("node not down")
+	}
+	if len(displaced) != 7 {
+		t.Fatalf("displaced = %d, want 7", len(displaced))
+	}
+	// Deterministic ID order.
+	for i := 1; i < len(displaced); i++ {
+		if displaced[i].ID < displaced[i-1].ID {
+			t.Fatal("displaced not in ID order")
+		}
+	}
+	if !n.Used().IsZero() {
+		t.Fatalf("resources leaked: %v", n.Used())
+	}
+	lcq, beq := n.QueueLen()
+	if lcq != 0 || beq != 0 {
+		t.Fatal("queues not cleared")
+	}
+	// No completion events fire later.
+	s.Run()
+	if e.Completed != 0 {
+		t.Fatalf("completed = %d after failure", e.Completed)
+	}
+}
+
+func TestFailIsIdempotentAndRecoverWorks(t *testing.T) {
+	calls := 0
+	s, e := failEnv(func(rs []*Request) { calls++ }, nil)
+	n := e.Node(1)
+	e.DispatchLocal(e.NewRequest(trace.Request{ID: 1, Type: 6, Class: trace.BE, Cluster: 0}), 1)
+	n.Fail()
+	n.Fail() // no-op
+	if calls != 1 {
+		t.Fatalf("OnDisplaced calls = %d", calls)
+	}
+	n.Recover()
+	if n.Down() {
+		t.Fatal("still down after Recover")
+	}
+	e.DispatchLocal(e.NewRequest(trace.Request{ID: 2, Type: 6, Class: trace.BE, Cluster: 0}), 1)
+	s.Run()
+	if e.Completed != 1 {
+		t.Fatalf("completed after recover = %d", e.Completed)
+	}
+}
+
+func TestArrivalAtDownNodeDisplaced(t *testing.T) {
+	var displaced []*Request
+	s, e := failEnv(func(rs []*Request) { displaced = append(displaced, rs...) }, nil)
+	e.Node(1).Fail()
+	e.Dispatch(e.NewRequest(trace.Request{ID: 5, Type: 1, Class: trace.LC, Cluster: 0}), 1)
+	s.Run()
+	if len(displaced) != 1 || displaced[0].ID != 5 {
+		t.Fatalf("displaced = %v", displaced)
+	}
+}
+
+func TestFailWithoutHandlerEmitsFailedOutcomes(t *testing.T) {
+	var outs []Outcome
+	s, e := failEnv(nil, func(o Outcome) { outs = append(outs, o) })
+	e.DispatchLocal(e.NewRequest(trace.Request{ID: 1, Type: 1, Class: trace.LC, Cluster: 0}), 1)
+	e.DispatchLocal(e.NewRequest(trace.Request{ID: 2, Type: 6, Class: trace.BE, Cluster: 0}), 1)
+	e.Node(1).Fail()
+	if len(outs) != 2 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	for _, o := range outs {
+		if o.Completed || o.Satisfied {
+			t.Fatalf("failure outcome %+v should be failed", o)
+		}
+	}
+	if e.Abandoned != 1 {
+		t.Fatalf("abandoned = %d, want 1 (the LC request)", e.Abandoned)
+	}
+	_ = s
+}
+
+func TestDisplacedRequestTracksRestart(t *testing.T) {
+	var displaced []*Request
+	_, e := failEnv(func(rs []*Request) { displaced = rs }, nil)
+	r := e.NewRequest(trace.Request{ID: 1, Type: 6, Class: trace.BE, Cluster: 0})
+	e.DispatchLocal(r, 1)
+	e.Node(1).Fail()
+	if len(displaced) != 1 || displaced[0].Restarts != 1 {
+		t.Fatalf("running request should count a restart: %+v", displaced)
+	}
+}
+
+func TestDownNodeExcludedUntilRecovery(t *testing.T) {
+	s, e := failEnv(func(rs []*Request) {}, nil)
+	n1, n2 := e.Node(1), e.Node(2)
+	n1.Fail()
+	// The other node still works.
+	e.DispatchLocal(e.NewRequest(trace.Request{ID: 1, Type: 1, Class: trace.LC, Cluster: 0}), 2)
+	s.RunFor(5 * time.Second)
+	if e.Completed != 1 {
+		t.Fatal("healthy node should keep completing")
+	}
+	if n1.Down() == n2.Down() {
+		t.Fatal("down state confused between nodes")
+	}
+}

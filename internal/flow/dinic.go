@@ -1,0 +1,82 @@
+package flow
+
+// Dinic's algorithm: a faster pure max-flow solver used when costs do
+// not matter (e.g. the feasibility probe "can this batch be placed at
+// all?" before a full min-cost solve). It operates on the same Graph and
+// leaves the flow assignment readable through Flow.
+
+// MaxFlowDinic computes a maximum flow from source to sink with Dinic's
+// blocking-flow algorithm. Costs are ignored. The graph retains the flow
+// for Flow queries (call Reset first if the graph was already solved).
+func (g *Graph) MaxFlowDinic(source, sink int) int64 {
+	n := len(g.adj)
+	if source < 0 || source >= n || sink < 0 || sink >= n {
+		panic("flow: source/sink out of range")
+	}
+	if source == sink {
+		return 0
+	}
+	level := make([]int, n)
+	iter := make([]int, n)
+	queue := make([]int, 0, n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[source] = 0
+		queue = queue[:0]
+		queue = append(queue, source)
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, a := range g.adj[u] {
+				if a.cap > 0 && level[a.to] < 0 {
+					level[a.to] = level[u] + 1
+					queue = append(queue, a.to)
+				}
+			}
+		}
+		return level[sink] >= 0
+	}
+
+	var dfs func(u int, limit int64) int64
+	dfs = func(u int, limit int64) int64 {
+		if u == sink {
+			return limit
+		}
+		for ; iter[u] < len(g.adj[u]); iter[u]++ {
+			a := &g.adj[u][iter[u]]
+			if a.cap <= 0 || level[a.to] != level[u]+1 {
+				continue
+			}
+			push := limit
+			if a.cap < push {
+				push = a.cap
+			}
+			got := dfs(a.to, push)
+			if got > 0 {
+				a.cap -= got
+				g.adj[a.to][a.rev].cap += got
+				return got
+			}
+			// Dead end: do not retry this arc in the current phase.
+		}
+		return 0
+	}
+
+	const inf = int64(1) << 60
+	var total int64
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(source, inf)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}

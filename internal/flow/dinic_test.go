@@ -1,0 +1,123 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDinicSimple(t *testing.T) {
+	g := NewGraph()
+	s, a, d := g.AddNode(), g.AddNode(), g.AddNode()
+	g.AddEdge(s, a, 5, 0)
+	e := g.AddEdge(a, d, 3, 0)
+	if got := g.MaxFlowDinic(s, d); got != 3 {
+		t.Fatalf("dinic = %d", got)
+	}
+	if g.Flow(e) != 3 {
+		t.Fatalf("edge flow = %d", g.Flow(e))
+	}
+}
+
+func TestDinicClassic(t *testing.T) {
+	g := NewGraph()
+	s := g.AddNode()
+	v1, v2, v3, v4 := g.AddNode(), g.AddNode(), g.AddNode(), g.AddNode()
+	d := g.AddNode()
+	g.AddEdge(s, v1, 16, 0)
+	g.AddEdge(s, v2, 13, 0)
+	g.AddEdge(v1, v3, 12, 0)
+	g.AddEdge(v2, v1, 4, 0)
+	g.AddEdge(v3, v2, 9, 0)
+	g.AddEdge(v2, v4, 14, 0)
+	g.AddEdge(v4, v3, 7, 0)
+	g.AddEdge(v3, d, 20, 0)
+	g.AddEdge(v4, d, 4, 0)
+	if got := g.MaxFlowDinic(s, d); got != 23 {
+		t.Fatalf("dinic = %d, want 23", got)
+	}
+}
+
+func TestDinicEdgeCases(t *testing.T) {
+	g := NewGraph()
+	s := g.AddNode()
+	if g.MaxFlowDinic(s, s) != 0 {
+		t.Fatal("self flow")
+	}
+	d := g.AddNode()
+	if g.MaxFlowDinic(s, d) != 0 {
+		t.Fatal("disconnected flow")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bad source")
+		}
+	}()
+	g.MaxFlowDinic(-1, 0)
+}
+
+// Property: Dinic and the SSP solver agree on max flow for random graphs.
+func TestQuickDinicMatchesSSP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 3
+		type e struct {
+			u, v int
+			c    int64
+		}
+		var edges []e
+		for i := 0; i < rng.Intn(30)+3; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, e{u, v, int64(rng.Intn(10) + 1)})
+			}
+		}
+		build := func() *Graph {
+			g := NewGraph()
+			g.AddNodes(n)
+			for _, ed := range edges {
+				g.AddEdge(ed.u, ed.v, ed.c, 0)
+			}
+			return g
+		}
+		a := build().MaxFlowDinic(0, n-1)
+		b := build().MaxFlow(0, n-1)
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDinicVsSSP(b *testing.B) {
+	build := func() (*Graph, int, int) {
+		rng := rand.New(rand.NewSource(1))
+		g := NewGraph()
+		n := 500
+		g.AddNodes(n + 2)
+		s, d := n, n+1
+		for i := 0; i < n; i++ {
+			g.AddEdge(s, i, int64(rng.Intn(4)+1), 0)
+			g.AddEdge(i, d, int64(rng.Intn(4)+1), 0)
+		}
+		for i := 0; i < 2000; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, int64(rng.Intn(5)+1), 0)
+			}
+		}
+		return g, s, d
+	}
+	b.Run("dinic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, s, d := build()
+			g.MaxFlowDinic(s, d)
+		}
+	})
+	b.Run("ssp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, s, d := build()
+			g.MaxFlow(s, d)
+		}
+	})
+}

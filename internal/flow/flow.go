@@ -1,0 +1,217 @@
+// Package flow is the network-flow optimization substrate that replaces
+// Google OR-Tools in DSS-LC (§5.2). It provides an exact min-cost
+// max-flow solver using successive shortest augmenting paths with
+// Johnson potentials (Dijkstra search), which is exact for graphs with
+// integral capacities and nonnegative arc costs — precisely the shape of
+// the per-request-type MCNF graphs DSS-LC constructs (unit request flows,
+// latency costs).
+package flow
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// EdgeID identifies an added edge for flow queries.
+type EdgeID int
+
+type arc struct {
+	to   int
+	cap  int64 // residual capacity
+	cost int64
+	rev  int // index of the reverse arc in adj[to]
+}
+
+// Graph is a directed flow network. Nodes are dense ints from AddNode.
+type Graph struct {
+	adj   [][]arc
+	edges []struct{ from, idx int } // maps EdgeID -> arc location
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddNode creates a node and returns its index.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddNodes creates n nodes and returns the index of the first.
+func (g *Graph) AddNodes(n int) int {
+	first := len(g.adj)
+	for i := 0; i < n; i++ {
+		g.adj = append(g.adj, nil)
+	}
+	return first
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// AddEdge adds a directed edge with the given capacity and nonnegative
+// cost, returning an EdgeID usable with Flow after solving.
+func (g *Graph) AddEdge(from, to int, capacity, cost int64) EdgeID {
+	if from < 0 || from >= len(g.adj) || to < 0 || to >= len(g.adj) {
+		panic(fmt.Sprintf("flow: edge %d->%d out of range (n=%d)", from, to, len(g.adj)))
+	}
+	if capacity < 0 {
+		panic("flow: negative capacity")
+	}
+	if cost < 0 {
+		panic("flow: negative cost (not supported by Dijkstra-based solver)")
+	}
+	g.adj[from] = append(g.adj[from], arc{to: to, cap: capacity, cost: cost, rev: len(g.adj[to])})
+	g.adj[to] = append(g.adj[to], arc{to: from, cap: 0, cost: -cost, rev: len(g.adj[from]) - 1})
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, struct{ from, idx int }{from, len(g.adj[from]) - 1})
+	return id
+}
+
+// Flow returns the amount of flow routed on edge id after a solve.
+func (g *Graph) Flow(id EdgeID) int64 {
+	if int(id) < 0 || int(id) >= len(g.edges) {
+		panic(fmt.Sprintf("flow: edge id %d out of range", id))
+	}
+	e := g.edges[id]
+	a := g.adj[e.from][e.idx]
+	// flow = reverse arc residual capacity
+	return g.adj[a.to][a.rev].cap
+}
+
+// Result summarizes a solve.
+type Result struct {
+	Flow int64 // total flow routed
+	Cost int64 // total cost of the routed flow
+}
+
+type pqItem struct {
+	node int
+	dist int64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+
+// MinCostFlow routes up to maxFlow units from source to sink, minimizing
+// total cost. Pass math.MaxInt64 as maxFlow for a min-cost max-flow.
+// The graph retains the flow assignment for Flow queries.
+func (g *Graph) MinCostFlow(source, sink int, maxFlow int64) Result {
+	n := len(g.adj)
+	if source < 0 || source >= n || sink < 0 || sink >= n {
+		panic("flow: source/sink out of range")
+	}
+	if source == sink {
+		return Result{}
+	}
+	const inf = math.MaxInt64 / 4
+	potential := make([]int64, n)
+	dist := make([]int64, n)
+	prevNode := make([]int, n)
+	prevArc := make([]int, n)
+	var total Result
+
+	for total.Flow < maxFlow {
+		// Dijkstra on reduced costs.
+		for i := range dist {
+			dist[i] = inf
+			prevNode[i] = -1
+		}
+		dist[source] = 0
+		h := pq{{source, 0}}
+		for len(h) > 0 {
+			it := heap.Pop(&h).(pqItem)
+			if it.dist > dist[it.node] {
+				continue
+			}
+			u := it.node
+			for ai := range g.adj[u] {
+				a := &g.adj[u][ai]
+				if a.cap <= 0 {
+					continue
+				}
+				nd := dist[u] + a.cost + potential[u] - potential[a.to]
+				if nd < dist[a.to] {
+					dist[a.to] = nd
+					prevNode[a.to] = u
+					prevArc[a.to] = ai
+					heap.Push(&h, pqItem{a.to, nd})
+				}
+			}
+		}
+		if dist[sink] >= inf {
+			break // no augmenting path
+		}
+		for i := 0; i < n; i++ {
+			if dist[i] < inf {
+				potential[i] += dist[i]
+			}
+		}
+		// Find bottleneck along the path.
+		push := maxFlow - total.Flow
+		for v := sink; v != source; v = prevNode[v] {
+			a := g.adj[prevNode[v]][prevArc[v]]
+			if a.cap < push {
+				push = a.cap
+			}
+		}
+		// Apply.
+		for v := sink; v != source; v = prevNode[v] {
+			u := prevNode[v]
+			a := &g.adj[u][prevArc[v]]
+			a.cap -= push
+			g.adj[v][a.rev].cap += push
+			total.Cost += push * a.cost
+		}
+		total.Flow += push
+	}
+	return total
+}
+
+// MaxFlow computes a plain max flow (costs ignored as zero during the
+// search — since all costs are nonnegative this still terminates with a
+// maximum flow because augmentation continues until no path remains).
+func (g *Graph) MaxFlow(source, sink int) int64 {
+	return g.MinCostFlow(source, sink, math.MaxInt64/4).Flow
+}
+
+// Reset clears all flow, restoring original capacities.
+func (g *Graph) Reset() {
+	for _, e := range g.edges {
+		a := &g.adj[e.from][e.idx]
+		r := &g.adj[a.to][a.rev]
+		a.cap += r.cap
+		r.cap = 0
+	}
+}
+
+// Excess verification helpers (used by tests and callers that assert
+// solution validity).
+
+// Conservation checks that at every node other than source and sink,
+// inflow equals outflow.
+func (g *Graph) Conservation(source, sink int) error {
+	n := len(g.adj)
+	net := make([]int64, n)
+	for _, e := range g.edges {
+		a := g.adj[e.from][e.idx]
+		f := g.adj[a.to][a.rev].cap
+		net[e.from] -= f
+		net[a.to] += f
+	}
+	for i := 0; i < n; i++ {
+		if i == source || i == sink {
+			continue
+		}
+		if net[i] != 0 {
+			return fmt.Errorf("flow: conservation violated at node %d (net %d)", i, net[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package k8s
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// ReplicaSetController is a watch-driven reconciler: it observes pod
+// events from the Store and keeps the number of live pods matching a
+// label selector at the desired count, recreating pods that terminate
+// (e.g. after a native-VPA delete or a node failure). This mirrors how
+// the real kube-controller-manager maintains ReplicaSets, and is the
+// control-loop machinery Tango's backward-compatible design leaves in
+// place (§3).
+type ReplicaSetController struct {
+	Name     string
+	Selector map[string]string
+	Desired  int
+	Template PodSpec
+
+	sim       *sim.Simulator
+	store     *Store
+	scheduler *Scheduler
+	kubelets  map[topo.NodeID]*Kubelet
+	serial    int
+	// Reconciles counts reconcile passes; CreateFailures counts pods the
+	// controller wanted but could not place.
+	Reconciles     int64
+	CreateFailures int64
+	pending        bool
+	reconciling    bool
+}
+
+// NewReplicaSetController builds and registers the controller on the
+// store's watch stream.
+func NewReplicaSetController(name string, selector map[string]string, desired int,
+	tmpl PodSpec, s *sim.Simulator, store *Store, sched *Scheduler,
+	kubelets map[topo.NodeID]*Kubelet) *ReplicaSetController {
+	c := &ReplicaSetController{
+		Name: name, Selector: selector, Desired: desired, Template: tmpl,
+		sim: s, store: store, scheduler: sched, kubelets: kubelets,
+	}
+	store.Watch(func(e Event) {
+		// Ignore the controller's own mutations (including the
+		// create-then-delete of a placement failure), otherwise a full
+		// cluster would loop create/fail/delete forever.
+		if c.reconciling || !c.matches(e.Pod) {
+			return
+		}
+		// Coalesce: schedule one reconcile per event burst.
+		if !c.pending {
+			c.pending = true
+			s.Schedule(0, func() {
+				c.pending = false
+				c.Reconcile()
+			})
+		}
+	})
+	return c
+}
+
+func (c *ReplicaSetController) matches(p *Pod) bool {
+	for k, v := range c.Selector {
+		if p.Spec.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Live returns the matching pods that are running or being created.
+func (c *ReplicaSetController) Live() []*Pod {
+	return c.store.Pods(func(p *Pod) bool {
+		if !c.matches(p) {
+			return false
+		}
+		return p.Phase == PodPending || p.Phase == PodCreating || p.Phase == PodRunning
+	})
+}
+
+// Reconcile drives the live count toward Desired.
+func (c *ReplicaSetController) Reconcile() {
+	c.reconciling = true
+	defer func() { c.reconciling = false }()
+	c.Reconciles++
+	live := c.Live()
+	for len(live) < c.Desired {
+		if !c.createOne() {
+			return
+		}
+		live = c.Live()
+	}
+	for len(live) > c.Desired {
+		victim := live[len(live)-1]
+		live = live[:len(live)-1]
+		if kl, ok := c.kubelets[victim.Spec.Node]; ok && (victim.Phase == PodRunning || victim.Phase == PodCreating) {
+			name := victim.Spec.Name
+			_ = kl.StopPod(victim, func() { _ = c.store.DeletePod(name) })
+		} else {
+			_ = c.store.DeletePod(victim.Spec.Name)
+		}
+	}
+}
+
+func (c *ReplicaSetController) createOne() bool {
+	c.serial++
+	spec := c.Template
+	spec.Name = fmt.Sprintf("%s-%d", c.Name, c.serial)
+	if spec.Labels == nil {
+		spec.Labels = map[string]string{}
+	}
+	for k, v := range c.Selector {
+		spec.Labels[k] = v
+	}
+	p, err := c.store.CreatePod(spec)
+	if err != nil {
+		c.CreateFailures++
+		return false
+	}
+	node, err := c.scheduler.Schedule(p)
+	if err != nil {
+		_ = c.store.DeletePod(spec.Name)
+		c.CreateFailures++
+		return false
+	}
+	kl, ok := c.kubelets[node.ID]
+	if !ok {
+		_ = c.store.DeletePod(spec.Name)
+		c.CreateFailures++
+		return false
+	}
+	if err := kl.RunPod(p, nil); err != nil {
+		_ = c.store.DeletePod(spec.Name)
+		c.CreateFailures++
+		return false
+	}
+	return true
+}

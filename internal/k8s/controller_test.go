@@ -1,0 +1,124 @@
+package k8s
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cgroup"
+	"repro/internal/res"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func rsEnv(t *testing.T) (*sim.Simulator, *Store, *ReplicaSetController, map[topo.NodeID]*Kubelet) {
+	t.Helper()
+	s := sim.New()
+	st := NewStore(s)
+	k1 := NewKubelet(s, st, 1, res.V(4000, 8192, 0))
+	k2 := NewKubelet(s, st, 2, res.V(4000, 8192, 0))
+	kls := map[topo.NodeID]*Kubelet{1: k1, 2: k2}
+	sch := NewScheduler([]*NodeState{k1.Node(), k2.Node()})
+	tmpl := PodSpec{
+		QoS:     cgroup.Burstable,
+		Request: res.V(1000, 1024, 0), Limit: res.V(1000, 1024, 0),
+	}
+	c := NewReplicaSetController("web", map[string]string{"app": "web"}, 3, tmpl, s, st, sch, kls)
+	return s, st, c, kls
+}
+
+func TestReplicaSetReconcilesToDesired(t *testing.T) {
+	s, st, c, _ := rsEnv(t)
+	c.Reconcile()
+	s.Run()
+	running := st.Pods(func(p *Pod) bool { return p.Phase == PodRunning })
+	if len(running) != 3 {
+		t.Fatalf("running = %d, want 3", len(running))
+	}
+	for _, p := range running {
+		if p.Spec.Labels["app"] != "web" {
+			t.Fatal("selector labels not applied")
+		}
+	}
+}
+
+func TestReplicaSetReplacesDeletedPod(t *testing.T) {
+	s, st, c, kls := rsEnv(t)
+	c.Reconcile()
+	s.Run()
+	victim := st.Pods(func(p *Pod) bool { return p.Phase == PodRunning })[0]
+	// Kill the pod the way a native-VPA delete or crash would.
+	name := victim.Spec.Name
+	if err := kls[victim.Spec.Node].StopPod(victim, func() { _ = st.DeletePod(name) }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	running := st.Pods(func(p *Pod) bool { return p.Phase == PodRunning })
+	if len(running) != 3 {
+		t.Fatalf("controller did not replace the pod: running = %d", len(running))
+	}
+	if c.Reconciles < 2 {
+		t.Fatalf("reconciles = %d", c.Reconciles)
+	}
+}
+
+func TestReplicaSetScalesDown(t *testing.T) {
+	s, st, c, _ := rsEnv(t)
+	c.Reconcile()
+	s.Run()
+	c.Desired = 1
+	c.Reconcile()
+	s.Run()
+	live := c.Live()
+	if len(live) != 1 {
+		t.Fatalf("live = %d after scale down", len(live))
+	}
+	// Terminated pods eventually deleted from the store.
+	if got := len(st.Pods(nil)); got != 1 {
+		t.Fatalf("store pods = %d", got)
+	}
+}
+
+func TestReplicaSetIgnoresForeignPods(t *testing.T) {
+	s, st, c, kls := rsEnv(t)
+	c.Reconcile()
+	s.Run()
+	before := c.Reconciles
+	// A pod without matching labels must not trigger reconciliation.
+	p, err := st.CreatePod(PodSpec{Name: "other", QoS: cgroup.BestEffort,
+		Request: res.V(100, 128, 0), Limit: res.V(100, 128, 0), Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kls[1].RunPod(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if c.Reconciles != before {
+		t.Fatalf("foreign pod triggered reconcile (%d -> %d)", before, c.Reconciles)
+	}
+}
+
+func TestReplicaSetCreateFailureWhenFull(t *testing.T) {
+	s, _, c, _ := rsEnv(t)
+	// 2 nodes x 4000m, 1000m per pod => at most 8 pods.
+	c.Desired = 10
+	c.Reconcile()
+	s.Run()
+	if len(c.Live()) != 8 {
+		t.Fatalf("live = %d, want 8 (capacity)", len(c.Live()))
+	}
+	if c.CreateFailures == 0 {
+		t.Fatal("no create failures recorded")
+	}
+}
+
+func TestReconcileCoalescesEvents(t *testing.T) {
+	s, _, c, _ := rsEnv(t)
+	c.Reconcile() // creates 3 pods -> 3 ADDED + phase updates
+	before := c.Reconciles
+	s.RunFor(10 * time.Second)
+	// Event bursts coalesce: far fewer reconciles than events.
+	if c.Reconciles-before > 10 {
+		t.Fatalf("reconciles exploded: %d", c.Reconciles-before)
+	}
+}

@@ -1,0 +1,273 @@
+// Package metrics is the measurement substrate standing in for the
+// Prometheus + QoS-detector pipeline of Figure 3. It provides sliding
+// latency windows with tail-percentile queries (the paper samples the
+// 95th percentile over 100 ms windows), QoS-satisfaction accounting,
+// throughput counters and period-indexed time series matching the 800 ms
+// collection periods used in §6.2.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Window keeps the samples observed during the most recent span of
+// virtual time and answers percentile queries over them. It implements
+// the 100 ms collection window of the QoS re-assurance mechanism (§4.3).
+type Window struct {
+	span    time.Duration
+	samples []sample
+}
+
+type sample struct {
+	at time.Duration
+	v  float64
+}
+
+// NewWindow creates a sliding window covering span of virtual time.
+func NewWindow(span time.Duration) *Window {
+	if span <= 0 {
+		panic("metrics: window span must be positive")
+	}
+	return &Window{span: span}
+}
+
+// Observe records value v at virtual time now. Times must be
+// nondecreasing across calls.
+func (w *Window) Observe(now time.Duration, v float64) {
+	if n := len(w.samples); n > 0 && now < w.samples[n-1].at {
+		panic(fmt.Sprintf("metrics: time went backwards: %v < %v", now, w.samples[n-1].at))
+	}
+	w.samples = append(w.samples, sample{now, v})
+	w.evict(now)
+}
+
+func (w *Window) evict(now time.Duration) {
+	cut := now - w.span
+	i := 0
+	for i < len(w.samples) && w.samples[i].at <= cut {
+		i++
+	}
+	if i > 0 {
+		w.samples = append(w.samples[:0], w.samples[i:]...)
+	}
+}
+
+// Len returns the number of samples currently in the window (as of the
+// last Observe).
+func (w *Window) Len() int { return len(w.samples) }
+
+// Percentile returns the p-th percentile (0 < p <= 100) of the samples in
+// the window using nearest-rank, and false if the window is empty.
+func (w *Window) Percentile(p float64) (float64, bool) {
+	if len(w.samples) == 0 {
+		return 0, false
+	}
+	if p <= 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of (0,100]", p))
+	}
+	vals := make([]float64, len(w.samples))
+	for i, s := range w.samples {
+		vals[i] = s.v
+	}
+	sort.Float64s(vals)
+	rank := int(math.Ceil(p / 100 * float64(len(vals))))
+	if rank < 1 {
+		rank = 1
+	}
+	return vals[rank-1], true
+}
+
+// Mean returns the average of the samples, and false if empty.
+func (w *Window) Mean() (float64, bool) {
+	if len(w.samples) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, s := range w.samples {
+		sum += s.v
+	}
+	return sum / float64(len(w.samples)), true
+}
+
+// QoSCounter tracks the QoS-guarantee satisfaction rate φ of Eq. 1:
+// completed LC requests meeting their tail-latency target over all
+// arrived LC requests.
+type QoSCounter struct {
+	Arrived   int64
+	Completed int64
+	Satisfied int64
+	Abandoned int64
+}
+
+// Rate returns φ = satisfied/arrived (1 if nothing arrived yet).
+func (q *QoSCounter) Rate() float64 {
+	if q.Arrived == 0 {
+		return 1
+	}
+	return float64(q.Satisfied) / float64(q.Arrived)
+}
+
+// CompletionRate returns completed/arrived.
+func (q *QoSCounter) CompletionRate() float64 {
+	if q.Arrived == 0 {
+		return 1
+	}
+	return float64(q.Completed) / float64(q.Arrived)
+}
+
+// Add merges another counter into q.
+func (q *QoSCounter) Add(o QoSCounter) {
+	q.Arrived += o.Arrived
+	q.Completed += o.Completed
+	q.Satisfied += o.Satisfied
+	q.Abandoned += o.Abandoned
+}
+
+// Series is a period-indexed time series (one value per 800 ms collection
+// period in the paper's experiments).
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Append adds one period's value.
+func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
+
+// Mean returns the series average (0 for empty).
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Last returns the final value (0 for empty).
+func (s *Series) Last() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// Normalize returns a copy scaled so the maximum is 1 (no-op for empty or
+// all-zero series). Paper figures plot normalized values.
+func (s *Series) Normalize() *Series {
+	out := &Series{Name: s.Name, Values: make([]float64, len(s.Values))}
+	max := 0.0
+	for _, v := range s.Values {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		copy(out.Values, s.Values)
+		return out
+	}
+	for i, v := range s.Values {
+		out.Values[i] = v / max
+	}
+	return out
+}
+
+// Sum returns the series total.
+func (s *Series) Sum() float64 {
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum
+}
+
+// Table renders rows of labelled values as an aligned text table; the
+// benchmark harness prints paper figures through it.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells beyond the column count are dropped,
+// missing cells are blank.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowF appends a row of formatted values: strings pass through,
+// float64 format as %.4g, ints as %d.
+func (t *Table) AddRowF(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.4g", v))
+		case int:
+			row = append(row, fmt.Sprintf("%d", v))
+		case int64:
+			row = append(row, fmt.Sprintf("%d", v))
+		case time.Duration:
+			row = append(row, v.String())
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the aligned table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

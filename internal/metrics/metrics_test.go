@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(100 * time.Millisecond)
+	w.Observe(0, 1)
+	w.Observe(50*time.Millisecond, 2)
+	w.Observe(100*time.Millisecond, 3)
+	if w.Len() != 2 { // sample at t=0 is evicted at t=100ms (at <= now-span)
+		t.Fatalf("Len = %d, want 2", w.Len())
+	}
+	w.Observe(200*time.Millisecond, 4)
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", w.Len())
+	}
+}
+
+func TestWindowPercentile(t *testing.T) {
+	w := NewWindow(time.Second)
+	for i := 1; i <= 100; i++ {
+		w.Observe(time.Duration(i)*time.Millisecond, float64(i))
+	}
+	p95, ok := w.Percentile(95)
+	if !ok || p95 != 95 {
+		t.Fatalf("p95 = %v %v, want 95", p95, ok)
+	}
+	p50, _ := w.Percentile(50)
+	if p50 != 50 {
+		t.Fatalf("p50 = %v, want 50", p50)
+	}
+	p100, _ := w.Percentile(100)
+	if p100 != 100 {
+		t.Fatalf("p100 = %v", p100)
+	}
+}
+
+func TestWindowEmptyPercentile(t *testing.T) {
+	w := NewWindow(time.Second)
+	if _, ok := w.Percentile(95); ok {
+		t.Fatal("empty window returned a percentile")
+	}
+	if _, ok := w.Mean(); ok {
+		t.Fatal("empty window returned a mean")
+	}
+}
+
+func TestWindowMean(t *testing.T) {
+	w := NewWindow(time.Second)
+	w.Observe(0, 10)
+	w.Observe(1, 20)
+	m, ok := w.Mean()
+	if !ok || m != 15 {
+		t.Fatalf("mean = %v %v", m, ok)
+	}
+}
+
+func TestWindowPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero span":      func() { NewWindow(0) },
+		"bad percentile": func() { w := NewWindow(time.Second); w.Observe(0, 1); w.Percentile(0) },
+		"time backwards": func() { w := NewWindow(time.Second); w.Observe(10, 1); w.Observe(5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQoSCounter(t *testing.T) {
+	q := &QoSCounter{}
+	if q.Rate() != 1 || q.CompletionRate() != 1 {
+		t.Fatal("empty counter should report rate 1")
+	}
+	q.Arrived = 10
+	q.Completed = 8
+	q.Satisfied = 6
+	q.Abandoned = 2
+	if q.Rate() != 0.6 {
+		t.Fatalf("Rate = %v", q.Rate())
+	}
+	if q.CompletionRate() != 0.8 {
+		t.Fatalf("CompletionRate = %v", q.CompletionRate())
+	}
+	var sum QoSCounter
+	sum.Add(*q)
+	sum.Add(*q)
+	if sum.Arrived != 20 || sum.Satisfied != 12 || sum.Abandoned != 4 {
+		t.Fatalf("Add result %+v", sum)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "x"}
+	if s.Mean() != 0 || s.Last() != 0 || s.Sum() != 0 {
+		t.Fatal("empty series stats should be 0")
+	}
+	s.Append(1)
+	s.Append(3)
+	if s.Mean() != 2 || s.Last() != 3 || s.Sum() != 4 {
+		t.Fatalf("stats = %v %v %v", s.Mean(), s.Last(), s.Sum())
+	}
+}
+
+func TestSeriesNormalize(t *testing.T) {
+	s := &Series{Values: []float64{2, 4, 8}}
+	n := s.Normalize()
+	if n.Values[0] != 0.25 || n.Values[2] != 1 {
+		t.Fatalf("Normalize = %v", n.Values)
+	}
+	// original untouched
+	if s.Values[0] != 2 {
+		t.Fatal("Normalize mutated input")
+	}
+	z := (&Series{Values: []float64{0, 0}}).Normalize()
+	if z.Values[0] != 0 || z.Values[1] != 0 {
+		t.Fatal("all-zero normalize should be identity")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig X", "algo", "qos", "tput")
+	tb.AddRowF("DSS-LC", 0.95, 123)
+	tb.AddRowF("k8s-native", 0.8, int64(99))
+	out := tb.String()
+	if !strings.Contains(out, "== Fig X ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "DSS-LC") || !strings.Contains(out, "0.95") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// all data lines equal width
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("misaligned header/separator:\n%s", out)
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only")
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Fatal("short row dropped")
+	}
+	tb.AddRow("x", "y", "overflow-dropped")
+	if strings.Contains(tb.String(), "overflow") {
+		t.Fatal("overflow cell not dropped")
+	}
+}
+
+func TestTableDurationFormatting(t *testing.T) {
+	tb := NewTable("", "op", "lat")
+	tb.AddRowF("dvpa", 23*time.Millisecond)
+	if !strings.Contains(tb.String(), "23ms") {
+		t.Fatalf("duration not formatted: %s", tb.String())
+	}
+}
+
+// Property: Percentile matches a direct nearest-rank computation over the
+// currently retained samples, for random inputs.
+func TestQuickPercentileNearestRank(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(n%100) + 1
+		w := NewWindow(time.Hour) // no eviction
+		var vals []float64
+		for i := 0; i < k; i++ {
+			v := rng.Float64() * 1000
+			vals = append(vals, v)
+			w.Observe(time.Duration(i)*time.Millisecond, v)
+		}
+		sort.Float64s(vals)
+		for _, p := range []float64{1, 25, 50, 95, 99, 100} {
+			got, ok := w.Percentile(p)
+			if !ok {
+				return false
+			}
+			rank := int((p/100)*float64(k) + 0.9999999)
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > k {
+				rank = k
+			}
+			if got != vals[rank-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the window never retains samples older than span, and always
+// retains the newest sample.
+func TestQuickWindowRetention(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		span := time.Duration(rng.Intn(100)+1) * time.Millisecond
+		w := NewWindow(span)
+		now := time.Duration(0)
+		for i := 0; i < 200; i++ {
+			now += time.Duration(rng.Intn(20)) * time.Millisecond
+			w.Observe(now, float64(i))
+			if w.Len() < 1 {
+				return false
+			}
+			for _, s := range w.samples {
+				if s.at <= now-span {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// P2Quantile is the Jain & Chlamtac P² streaming quantile estimator: it
+// tracks a single quantile (e.g. the p95 tail latency) in O(1) space
+// without storing samples — the estimator a long-running QoS detector
+// would use where the exact windowed percentile of Window would grow
+// unbounded. Estimates converge as samples accumulate.
+type P2Quantile struct {
+	p       float64
+	n       int
+	heights [5]float64 // marker heights
+	pos     [5]float64 // actual marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	inc     [5]float64 // desired position increments
+	initial []float64
+}
+
+// NewP2Quantile creates an estimator for quantile p in (0,1).
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("metrics: quantile %v out of (0,1)", p))
+	}
+	return &P2Quantile{
+		p:    p,
+		want: [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5},
+		inc:  [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+	}
+}
+
+// Observe feeds one sample.
+func (q *P2Quantile) Observe(v float64) {
+	q.n++
+	if q.n <= 5 {
+		q.initial = append(q.initial, v)
+		if q.n == 5 {
+			sort.Float64s(q.initial)
+			for i := 0; i < 5; i++ {
+				q.heights[i] = q.initial[i]
+				q.pos[i] = float64(i + 1)
+			}
+			q.initial = nil
+		}
+		return
+	}
+	// Locate the cell containing v and clamp extremes.
+	var k int
+	switch {
+	case v < q.heights[0]:
+		q.heights[0] = v
+		k = 0
+	case v >= q.heights[4]:
+		q.heights[4] = v
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if v < q.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		q.want[i] += q.inc[i]
+	}
+	// Adjust interior markers.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			// Parabolic (piecewise) prediction.
+			h := q.parabolic(i, s)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, s)
+			}
+			q.pos[i] += s
+		}
+	}
+}
+
+func (q *P2Quantile) parabolic(i int, s float64) float64 {
+	return q.heights[i] + s/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+s)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-s)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+func (q *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return q.heights[i] + s*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// Count returns the number of observed samples.
+func (q *P2Quantile) Count() int { return q.n }
+
+// Value returns the current estimate and false when fewer than one
+// sample has been observed.
+func (q *P2Quantile) Value() (float64, bool) {
+	if q.n == 0 {
+		return 0, false
+	}
+	if q.n < 5 {
+		// Exact for the bootstrap phase.
+		cp := make([]float64, len(q.initial))
+		copy(cp, q.initial)
+		sort.Float64s(cp)
+		idx := int(q.p*float64(len(cp)) + 0.9999999)
+		if idx < 1 {
+			idx = 1
+		}
+		if idx > len(cp) {
+			idx = len(cp)
+		}
+		return cp[idx-1], true
+	}
+	return q.heights[2], true
+}

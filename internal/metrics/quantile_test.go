@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestP2Bootstrap(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	if _, ok := q.Value(); ok {
+		t.Fatal("empty estimator returned a value")
+	}
+	q.Observe(3)
+	v, ok := q.Value()
+	if !ok || v != 3 {
+		t.Fatalf("single sample value = %v %v", v, ok)
+	}
+	for _, x := range []float64{1, 2, 4, 5} {
+		q.Observe(x)
+	}
+	v, _ = q.Value()
+	if v != 3 { // exact median of 1..5
+		t.Fatalf("5-sample median = %v", v)
+	}
+	if q.Count() != 5 {
+		t.Fatalf("count = %d", q.Count())
+	}
+}
+
+func TestP2PanicsOnBadQuantile(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%v did not panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}
+
+func TestP2ConvergesOnUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range []float64{0.5, 0.9, 0.95} {
+		q := NewP2Quantile(p)
+		for i := 0; i < 50000; i++ {
+			q.Observe(rng.Float64() * 100)
+		}
+		v, _ := q.Value()
+		want := p * 100
+		if math.Abs(v-want) > 2 {
+			t.Fatalf("p%v estimate %v, want ~%v", p, v, want)
+		}
+	}
+}
+
+func TestP2ConvergesOnNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := NewP2Quantile(0.95)
+	var all []float64
+	for i := 0; i < 30000; i++ {
+		x := rng.NormFloat64()*10 + 50
+		all = append(all, x)
+		q.Observe(x)
+	}
+	sort.Float64s(all)
+	exact := all[int(0.95*float64(len(all)))]
+	v, _ := q.Value()
+	if math.Abs(v-exact) > 1 {
+		t.Fatalf("p95 estimate %v, exact %v", v, exact)
+	}
+}
+
+// Property: for any sample stream, the estimate stays within the
+// observed min/max envelope.
+func TestQuickP2WithinEnvelope(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewP2Quantile(0.95)
+		k := int(n%2000) + 1
+		min, max := math.Inf(1), math.Inf(-1)
+		for i := 0; i < k; i++ {
+			x := rng.NormFloat64() * 100
+			min = math.Min(min, x)
+			max = math.Max(max, x)
+			q.Observe(x)
+		}
+		v, ok := q.Value()
+		return ok && v >= min-1e-9 && v <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on large sorted-insensitive streams, the P² estimate is
+// close to the exact percentile (within 10% of the IQR-scale).
+func TestQuickP2Accuracy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewP2Quantile(0.9)
+		var all []float64
+		for i := 0; i < 5000; i++ {
+			x := rng.ExpFloat64() * 50 // skewed, like latencies
+			all = append(all, x)
+			q.Observe(x)
+		}
+		sort.Float64s(all)
+		exact := all[int(0.9*float64(len(all)))]
+		v, _ := q.Value()
+		return math.Abs(v-exact) < 0.15*exact+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkP2Observe(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q := NewP2Quantile(0.95)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Observe(rng.Float64())
+	}
+}

@@ -1,0 +1,225 @@
+// Package nn is the neural-network substrate replacing PyTorch for the
+// learning components of Tango (DCG-BE's GraphSAGE encoder and A2C
+// actor/critic, plus the GNN-SAC and GCN/GAT ablation baselines). It
+// provides dense matrices, fully-connected layers with manual
+// backpropagation, ReLU/Tanh activations, row-wise softmax with action
+// masking, Xavier initialization and the Adam optimizer with the paper's
+// hyperparameters (lr = 2e-4).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	R, C int
+	Data []float64
+}
+
+// NewMat allocates an R×C zero matrix.
+func NewMat(r, c int) *Mat {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("nn: invalid matrix shape %dx%d", r, c))
+	}
+	return &Mat{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// FromSlice wraps data (len r*c) in a matrix without copying.
+func FromSlice(r, c int, data []float64) *Mat {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("nn: FromSlice %dx%d with %d values", r, c, len(data)))
+	}
+	return &Mat{R: r, C: c, Data: data}
+}
+
+// At returns element (i,j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.C+j] }
+
+// Set assigns element (i,j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.C+j] = v }
+
+// Row returns a view of row i.
+func (m *Mat) Row(i int) []float64 { return m.Data[i*m.C : (i+1)*m.C] }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.R, m.C)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero clears the matrix in place.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MatMul returns a × b.
+func MatMul(a, b *Mat) *Mat {
+	if a.C != b.R {
+		panic(fmt.Sprintf("nn: matmul %dx%d by %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := NewMat(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransA returns aᵀ × b.
+func MatMulTransA(a, b *Mat) *Mat {
+	if a.R != b.R {
+		panic(fmt.Sprintf("nn: matmulTA %dx%d by %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := NewMat(a.C, b.C)
+	for k := 0; k < a.R; k++ {
+		arow, brow := a.Row(k), b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a × bᵀ.
+func MatMulTransB(a, b *Mat) *Mat {
+	if a.C != b.C {
+		panic(fmt.Sprintf("nn: matmulTB %dx%d by %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := NewMat(a.R, b.R)
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.R; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// AddInPlace adds b into a element-wise.
+func AddInPlace(a, b *Mat) {
+	if a.R != b.R || a.C != b.C {
+		panic("nn: AddInPlace shape mismatch")
+	}
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func ScaleInPlace(a *Mat, s float64) {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+}
+
+// MeanRows returns the 1×C mean of the rows of m.
+func MeanRows(m *Mat) *Mat {
+	out := NewMat(1, m.C)
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	inv := 1.0 / float64(m.R)
+	for j := range out.Data {
+		out.Data[j] *= inv
+	}
+	return out
+}
+
+// ConcatCols returns [a | b] column-wise (same row count).
+func ConcatCols(a, b *Mat) *Mat {
+	if a.R != b.R {
+		panic("nn: ConcatCols row mismatch")
+	}
+	out := NewMat(a.R, a.C+b.C)
+	for i := 0; i < a.R; i++ {
+		copy(out.Row(i)[:a.C], a.Row(i))
+		copy(out.Row(i)[a.C:], b.Row(i))
+	}
+	return out
+}
+
+// SoftmaxRow computes a numerically-stable softmax of one logit row.
+// mask (optional) zeroes out entries where mask[i] == false before
+// normalization — the "policy context filtering" mechanism of §5.3.2.
+// If every entry is masked, the result is uniform over all entries.
+func SoftmaxRow(logits []float64, mask []bool) []float64 {
+	out := make([]float64, len(logits))
+	maxv := math.Inf(-1)
+	any := false
+	for i, v := range logits {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		any = true
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if !any {
+		u := 1.0 / float64(len(logits))
+		for i := range out {
+			out[i] = u
+		}
+		return out
+	}
+	sum := 0.0
+	for i, v := range logits {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// L2Norm returns the Euclidean norm of all elements.
+func (m *Mat) L2Norm() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// XavierInit fills m with Uniform(-a, a), a = sqrt(6/(fanIn+fanOut)).
+func XavierInit(m *Mat, rng *rand.Rand) {
+	a := math.Sqrt(6.0 / float64(m.R+m.C))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * a
+	}
+}

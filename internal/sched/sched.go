@@ -1,0 +1,136 @@
+// Package sched defines the traffic-scheduling interface of Tango's
+// dispatchers and the three baseline policies the paper compares against
+// (§7.2): k8s-native round-robin [9], load-greedy (lowest-load node) and
+// scoring (a weighted score over resource usage and transmission
+// latency, after [42]). DSS-LC and DCG-BE implement the same interface
+// in their own packages.
+package sched
+
+import (
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/topo"
+)
+
+// Scheduler picks a target worker for one request among candidate nodes.
+// Implementations must be deterministic given their internal state.
+type Scheduler interface {
+	// Pick returns the chosen worker and true, or false when no
+	// candidate is acceptable.
+	Pick(r *engine.Request, cands []*engine.Node) (topo.NodeID, bool)
+	Name() string
+}
+
+// RoundRobin is the K8s-native service-proxy baseline: it cycles through
+// candidates regardless of load, priority or distance.
+type RoundRobin struct {
+	next int
+}
+
+// Name implements Scheduler.
+func (r *RoundRobin) Name() string { return "k8s-native" }
+
+// Pick implements Scheduler.
+func (r *RoundRobin) Pick(_ *engine.Request, cands []*engine.Node) (topo.NodeID, bool) {
+	if len(cands) == 0 {
+		return 0, false
+	}
+	n := cands[r.next%len(cands)]
+	r.next++
+	return n.ID, true
+}
+
+// LoadGreedy dispatches to the candidate with the lowest projected
+// dominant-share load (running + queued + in-transit), breaking ties
+// toward the lowest node ID.
+type LoadGreedy struct{}
+
+// Name implements Scheduler.
+func (LoadGreedy) Name() string { return "load-greedy" }
+
+// Pick implements Scheduler.
+func (LoadGreedy) Pick(_ *engine.Request, cands []*engine.Node) (topo.NodeID, bool) {
+	if len(cands) == 0 {
+		return 0, false
+	}
+	best := cands[0]
+	bestU := best.ProjectedUtilization()
+	for _, n := range cands[1:] {
+		u := n.ProjectedUtilization()
+		if u < bestU || (u == bestU && n.ID < best.ID) {
+			best, bestU = n, u
+		}
+	}
+	return best.ID, true
+}
+
+// Scoring is the weighted-score baseline [42]: it scores each candidate
+// by free capacity, queue backlog and transmission latency and picks the
+// maximum. Unlike DSS-LC it looks at one request at a time and cannot
+// jointly optimize a batch.
+type Scoring struct {
+	Topo *topo.Topology
+	// Weights; defaults favour free resources, then latency, then queue.
+	WFree, WLatency, WQueue float64
+}
+
+// NewScoring builds the scoring baseline over a topology.
+func NewScoring(t *topo.Topology) *Scoring {
+	return &Scoring{Topo: t, WFree: 1.0, WLatency: 0.8, WQueue: 0.5}
+}
+
+// Name implements Scheduler.
+func (s *Scoring) Name() string { return "scoring" }
+
+// Pick implements Scheduler.
+func (s *Scoring) Pick(r *engine.Request, cands []*engine.Node) (topo.NodeID, bool) {
+	if len(cands) == 0 {
+		return 0, false
+	}
+	master := s.Topo.Cluster(r.Cluster).Master
+	best, bestScore := cands[0], math.Inf(-1)
+	for _, n := range cands {
+		free := 1 - n.ProjectedUtilization()
+		rttMs := float64(s.Topo.RTT(master, n.ID)) / 1e6
+		lcq, beq := n.QueueLen()
+		score := s.WFree*free - s.WLatency*(rttMs/100) - s.WQueue*float64(lcq+beq)/10
+		if score > bestScore || (score == bestScore && n.ID < best.ID) {
+			best, bestScore = n, score
+		}
+	}
+	return best.ID, true
+}
+
+// CandidatesLC returns the worker nodes an LC request may be dispatched
+// to: the local cluster plus geo-nearby clusters within maxKm (footnote
+// 4 of the paper; 500 km in the production dataset).
+func CandidatesLC(e *engine.Engine, c topo.ClusterID, maxKm float64) []*engine.Node {
+	t := e.Topology()
+	var out []*engine.Node
+	for _, w := range t.WorkersOf(c) {
+		if n := e.Node(w); !n.Down() {
+			out = append(out, n)
+		}
+	}
+	for _, nc := range t.NeighborClusters(c, maxKm) {
+		for _, w := range t.WorkersOf(nc) {
+			if n := e.Node(w); !n.Down() {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// CandidatesBE returns all live workers in the system (BE scheduling is
+// centralized and global, §5.3).
+func CandidatesBE(e *engine.Engine) []*engine.Node {
+	var out []*engine.Node
+	for _, n := range e.Nodes() {
+		if !n.Down() {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+// Package state implements Tango's state storage (Figure 3 ➋): the
+// per-master store that "not only stores the status of nearby
+// edge-clouds but also periodically receives metrics, such as resource
+// usage, round-trip time, and the QoS, which are pushed by Prometheus
+// and the QoS detector". Dispatchers read snapshots from here; between
+// syncs the data is stale by up to the sync interval, exactly like a
+// Prometheus-scraped deployment.
+package state
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/res"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// NodeStatus is one snapshot of a worker's condition.
+type NodeStatus struct {
+	Node      topo.NodeID
+	Cluster   topo.ClusterID
+	Capacity  res.Vector
+	Used      res.Vector
+	Free      res.Vector
+	QueueLC   int
+	QueueBE   int
+	Down      bool
+	Slack     float64 // worst slack score pushed by the QoS detector
+	UpdatedAt time.Duration
+}
+
+// Storage holds the most recent snapshot of every worker.
+type Storage struct {
+	Engine *engine.Engine
+	// SyncInterval is the metrics push cadence (100 ms, matching the QoS
+	// detector window of §4.3).
+	SyncInterval time.Duration
+	// SlackFn supplies the QoS detector's slack score per node (optional).
+	SlackFn func(topo.NodeID) float64
+
+	sim       *sim.Simulator
+	snapshots map[topo.NodeID]NodeStatus
+	// Syncs counts refreshes.
+	Syncs int64
+}
+
+// New creates a storage over the engine with the default 100 ms cadence.
+func New(e *engine.Engine) *Storage {
+	return &Storage{
+		Engine:       e,
+		SyncInterval: 100 * time.Millisecond,
+		snapshots:    map[topo.NodeID]NodeStatus{},
+	}
+}
+
+// Start arms the periodic sync and performs one immediately.
+func (s *Storage) Start(sm *sim.Simulator) *sim.Event {
+	s.sim = sm
+	s.Sync()
+	return sm.Every(s.SyncInterval, s.Sync)
+}
+
+// Sync refreshes every worker snapshot from the live engine state.
+func (s *Storage) Sync() {
+	now := time.Duration(0)
+	if s.sim != nil {
+		now = s.sim.Now()
+	}
+	for _, n := range s.Engine.Nodes() {
+		lcq, beq := n.QueueLen()
+		st := NodeStatus{
+			Node:      n.ID,
+			Cluster:   n.Cluster,
+			Capacity:  n.Capacity,
+			Used:      n.Used(),
+			Free:      n.Free(),
+			QueueLC:   lcq,
+			QueueBE:   beq,
+			Down:      n.Down(),
+			UpdatedAt: now,
+		}
+		if s.SlackFn != nil {
+			st.Slack = s.SlackFn(n.ID)
+		}
+		s.snapshots[n.ID] = st
+	}
+	s.Syncs++
+}
+
+// Get returns the latest snapshot for a node.
+func (s *Storage) Get(id topo.NodeID) (NodeStatus, bool) {
+	st, ok := s.snapshots[id]
+	return st, ok
+}
+
+// Age returns how stale a node's snapshot is at virtual time now.
+func (s *Storage) Age(now time.Duration, id topo.NodeID) time.Duration {
+	st, ok := s.snapshots[id]
+	if !ok {
+		return -1
+	}
+	return now - st.UpdatedAt
+}
+
+// All returns every snapshot sorted by node ID.
+func (s *Storage) All() []NodeStatus {
+	out := make([]NodeStatus, 0, len(s.snapshots))
+	for _, st := range s.snapshots {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// ClusterSummary aggregates the live snapshots of one cluster.
+type ClusterSummary struct {
+	Cluster    topo.ClusterID
+	Workers    int
+	DownCount  int
+	Free, Used res.Vector
+	QueueLC    int
+	QueueBE    int
+}
+
+// Summarize aggregates snapshots per cluster, sorted by cluster ID.
+func (s *Storage) Summarize() []ClusterSummary {
+	byCluster := map[topo.ClusterID]*ClusterSummary{}
+	for _, st := range s.snapshots {
+		cs, ok := byCluster[st.Cluster]
+		if !ok {
+			cs = &ClusterSummary{Cluster: st.Cluster}
+			byCluster[st.Cluster] = cs
+		}
+		cs.Workers++
+		if st.Down {
+			cs.DownCount++
+			continue
+		}
+		cs.Free = cs.Free.Add(st.Free)
+		cs.Used = cs.Used.Add(st.Used)
+		cs.QueueLC += st.QueueLC
+		cs.QueueBE += st.QueueBE
+	}
+	out := make([]ClusterSummary, 0, len(byCluster))
+	for _, cs := range byCluster {
+		out = append(out, *cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cluster < out[j].Cluster })
+	return out
+}

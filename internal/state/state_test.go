@@ -1,0 +1,145 @@
+package state
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/res"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+func env() (*sim.Simulator, *engine.Engine, *topo.Topology) {
+	s := sim.New()
+	b := topo.NewBuilder()
+	w := []res.Vector{res.V(4000, 8192, 500), res.V(4000, 8192, 500)}
+	b.AddCluster(30, 120, res.V(8000, 16384, 1000), w)
+	b.AddCluster(31, 120, res.V(8000, 16384, 1000), w)
+	tp := b.Build()
+	e := engine.New(engine.Config{Sim: s, Topo: tp, Catalog: trace.DefaultCatalog(), Policy: engine.GreedyPolicy{}})
+	return s, e, tp
+}
+
+func TestSyncReflectsEngine(t *testing.T) {
+	s, e, tp := env()
+	st := New(e)
+	ev := st.Start(s)
+	defer ev.Cancel()
+	w := tp.Cluster(0).Workers[0]
+	snap, ok := st.Get(w)
+	if !ok {
+		t.Fatal("no snapshot after Start")
+	}
+	if !snap.Used.IsZero() || snap.Free != res.V(4000, 8192, 500) {
+		t.Fatalf("fresh snapshot %+v", snap)
+	}
+	// Occupy the node and sync.
+	e.DispatchLocal(e.NewRequest(trace.Request{ID: 1, Type: 6, Class: trace.BE, Cluster: 0}), w)
+	s.RunFor(st.SyncInterval + time.Millisecond)
+	snap, _ = st.Get(w)
+	if snap.Used.MilliCPU != 1000 {
+		t.Fatalf("snapshot not refreshed: %+v", snap)
+	}
+}
+
+func TestStalenessBetweenSyncs(t *testing.T) {
+	s, e, tp := env()
+	st := New(e)
+	ev := st.Start(s)
+	defer ev.Cancel()
+	w := tp.Cluster(0).Workers[0]
+	// Change engine state between syncs: snapshot must NOT see it yet.
+	s.RunFor(10 * time.Millisecond)
+	e.DispatchLocal(e.NewRequest(trace.Request{ID: 1, Type: 6, Class: trace.BE, Cluster: 0}), w)
+	snap, _ := st.Get(w)
+	if snap.Used.MilliCPU != 0 {
+		t.Fatal("storage observed engine state without a sync (no staleness)")
+	}
+	if st.Age(s.Now(), w) != 10*time.Millisecond {
+		t.Fatalf("age = %v", st.Age(s.Now(), w))
+	}
+	if st.Age(s.Now(), 9999) != -1 {
+		t.Fatal("unknown node should report negative age")
+	}
+}
+
+func TestDownNodesFlagged(t *testing.T) {
+	s, e, tp := env()
+	st := New(e)
+	ev := st.Start(s)
+	defer ev.Cancel()
+	w := tp.Cluster(0).Workers[0]
+	e.Node(w).Fail()
+	st.Sync()
+	snap, _ := st.Get(w)
+	if !snap.Down {
+		t.Fatal("down node not flagged")
+	}
+	_ = s
+}
+
+func TestSlackFnPropagates(t *testing.T) {
+	_, e, tp := env()
+	st := New(e)
+	st.SlackFn = func(id topo.NodeID) float64 { return 0.37 }
+	st.Sync()
+	snap, _ := st.Get(tp.Cluster(0).Workers[0])
+	if snap.Slack != 0.37 {
+		t.Fatalf("slack = %v", snap.Slack)
+	}
+}
+
+func TestAllSortedAndComplete(t *testing.T) {
+	_, e, _ := env()
+	st := New(e)
+	st.Sync()
+	all := st.All()
+	if len(all) != 4 {
+		t.Fatalf("snapshots = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Node < all[i-1].Node {
+			t.Fatal("All not sorted")
+		}
+	}
+}
+
+func TestSummarizePerCluster(t *testing.T) {
+	_, e, tp := env()
+	st := New(e)
+	w := tp.Cluster(1).Workers[0]
+	e.DispatchLocal(e.NewRequest(trace.Request{ID: 1, Type: 6, Class: trace.BE, Cluster: 1}), w)
+	e.Node(tp.Cluster(0).Workers[1]).Fail()
+	st.Sync()
+	sums := st.Summarize()
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	if sums[0].Cluster != 0 || sums[1].Cluster != 1 {
+		t.Fatal("summaries not sorted")
+	}
+	if sums[0].DownCount != 1 || sums[0].Workers != 2 {
+		t.Fatalf("cluster 0 summary %+v", sums[0])
+	}
+	if sums[1].Used.MilliCPU != 1000 {
+		t.Fatalf("cluster 1 summary %+v", sums[1])
+	}
+	// Down node's resources excluded from Free.
+	if sums[0].Free.MilliCPU != 4000 {
+		t.Fatalf("cluster 0 free %v should exclude down node", sums[0].Free)
+	}
+}
+
+func TestSyncCounter(t *testing.T) {
+	s, e, _ := env()
+	st := New(e)
+	ev := st.Start(s)
+	s.RunFor(550 * time.Millisecond)
+	ev.Cancel()
+	// initial sync + 5 periodic at 100ms
+	if st.Syncs != 6 {
+		t.Fatalf("syncs = %d, want 6", st.Syncs)
+	}
+}

@@ -1,0 +1,126 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/res"
+)
+
+// jsonTopology is the serialized form of a Topology. Worker/master
+// membership is reconstructed from the cluster layout, so the file stays
+// human-editable: operators can describe a deployment by hand and load
+// it into tango-sim.
+type jsonTopology struct {
+	LANRTTMs         float64       `json:"lan_rtt_ms"`
+	LANBandwidthMbps int64         `json:"lan_bandwidth_mbps"`
+	WANBandwidthMbps int64         `json:"wan_bandwidth_mbps"`
+	KmPerMsRTT       float64       `json:"km_per_ms_rtt"`
+	WANBaseRTTMs     float64       `json:"wan_base_rtt_ms"`
+	Clusters         []jsonCluster `json:"clusters"`
+}
+
+type jsonCluster struct {
+	Lat     float64    `json:"lat"`
+	Lon     float64    `json:"lon"`
+	Central bool       `json:"central,omitempty"`
+	Master  jsonNode   `json:"master"`
+	Workers []jsonNode `json:"workers"`
+}
+
+type jsonNode struct {
+	MilliCPU  int64 `json:"milli_cpu"`
+	MemoryMiB int64 `json:"memory_mib"`
+	BWMbps    int64 `json:"bw_mbps"`
+}
+
+func toJSONNode(v res.Vector) jsonNode {
+	return jsonNode{MilliCPU: v.MilliCPU, MemoryMiB: v.MemoryMiB, BWMbps: v.BWMbps}
+}
+
+func (n jsonNode) vector() res.Vector { return res.V(n.MilliCPU, n.MemoryMiB, n.BWMbps) }
+
+// WriteJSON serializes the topology.
+func (t *Topology) WriteJSON(w io.Writer) error {
+	jt := jsonTopology{
+		LANRTTMs:         float64(t.LANRTT) / float64(time.Millisecond),
+		LANBandwidthMbps: t.LANBandwidthMbps,
+		WANBandwidthMbps: t.WANBandwidthMbps,
+		KmPerMsRTT:       t.KmPerMsRTT,
+		WANBaseRTTMs:     float64(t.WANBaseRTT) / float64(time.Millisecond),
+	}
+	for _, c := range t.Clusters {
+		jc := jsonCluster{
+			Lat: c.Lat, Lon: c.Lon, Central: c.Central,
+			Master: toJSONNode(t.Node(c.Master).Capacity),
+		}
+		for _, w := range c.Workers {
+			jc.Workers = append(jc.Workers, toJSONNode(t.Node(w).Capacity))
+		}
+		jt.Clusters = append(jt.Clusters, jc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jt); err != nil {
+		return fmt.Errorf("topo: write json: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a topology written by WriteJSON (or authored by hand).
+func ReadJSON(r io.Reader) (*Topology, error) {
+	var jt jsonTopology
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jt); err != nil {
+		return nil, fmt.Errorf("topo: read json: %w", err)
+	}
+	if len(jt.Clusters) == 0 {
+		return nil, fmt.Errorf("topo: json topology has no clusters")
+	}
+	b := NewBuilder()
+	if jt.LANRTTMs > 0 {
+		b.t.LANRTT = time.Duration(jt.LANRTTMs * float64(time.Millisecond))
+	}
+	if jt.LANBandwidthMbps > 0 {
+		b.t.LANBandwidthMbps = jt.LANBandwidthMbps
+	}
+	if jt.WANBandwidthMbps > 0 {
+		b.t.WANBandwidthMbps = jt.WANBandwidthMbps
+	}
+	if jt.KmPerMsRTT > 0 {
+		b.t.KmPerMsRTT = jt.KmPerMsRTT
+	}
+	if jt.WANBaseRTTMs > 0 {
+		b.t.WANBaseRTT = time.Duration(jt.WANBaseRTTMs * float64(time.Millisecond))
+	}
+	var central ClusterID = -1
+	for i, jc := range jt.Clusters {
+		if len(jc.Workers) == 0 {
+			return nil, fmt.Errorf("topo: cluster %d has no workers", i)
+		}
+		if jc.Master.MilliCPU <= 0 {
+			return nil, fmt.Errorf("topo: cluster %d master has no CPU", i)
+		}
+		caps := make([]res.Vector, len(jc.Workers))
+		for j, w := range jc.Workers {
+			if w.MilliCPU <= 0 || w.MemoryMiB <= 0 {
+				return nil, fmt.Errorf("topo: cluster %d worker %d has non-positive capacity", i, j)
+			}
+			caps[j] = w.vector()
+		}
+		id := b.AddCluster(jc.Lat, jc.Lon, jc.Master.vector(), caps)
+		if jc.Central {
+			if central >= 0 {
+				return nil, fmt.Errorf("topo: multiple central clusters (%d and %d)", central, id)
+			}
+			central = id
+		}
+	}
+	if central >= 0 {
+		b.MarkCentral(central)
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,116 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := PhysicalTestbed()
+	var b strings.Builder
+	if err := orig.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Clusters) != len(orig.Clusters) || len(got.Nodes) != len(orig.Nodes) {
+		t.Fatalf("shape changed: %d/%d clusters, %d/%d nodes",
+			len(got.Clusters), len(orig.Clusters), len(got.Nodes), len(orig.Nodes))
+	}
+	for i := range orig.Nodes {
+		if got.Nodes[i].Capacity != orig.Nodes[i].Capacity {
+			t.Fatalf("node %d capacity differs", i)
+		}
+		if got.Nodes[i].Role != orig.Nodes[i].Role {
+			t.Fatalf("node %d role differs", i)
+		}
+	}
+	if got.CentralCluster().ID != orig.CentralCluster().ID {
+		t.Fatalf("central cluster changed: %d vs %d", got.CentralCluster().ID, orig.CentralCluster().ID)
+	}
+	if got.LANRTT != orig.LANRTT || got.WANBaseRTT != orig.WANBaseRTT || got.KmPerMsRTT != orig.KmPerMsRTT {
+		t.Fatal("latency model not preserved")
+	}
+	// RTTs identical for a few pairs.
+	if got.RTT(0, 7) != orig.RTT(0, 7) {
+		t.Fatal("RTT differs after round trip")
+	}
+}
+
+func TestReadJSONHandAuthored(t *testing.T) {
+	in := `{
+	  "lan_rtt_ms": 2,
+	  "wan_base_rtt_ms": 50,
+	  "clusters": [
+	    {"lat": 30, "lon": 120,
+	     "master": {"milli_cpu": 8000, "memory_mib": 16384, "bw_mbps": 1000},
+	     "workers": [{"milli_cpu": 4000, "memory_mib": 8192, "bw_mbps": 500}]},
+	    {"lat": 31, "lon": 121, "central": true,
+	     "master": {"milli_cpu": 8000, "memory_mib": 16384, "bw_mbps": 1000},
+	     "workers": [{"milli_cpu": 2000, "memory_mib": 4096, "bw_mbps": 200},
+	                 {"milli_cpu": 6000, "memory_mib": 12288, "bw_mbps": 800}]}
+	  ]
+	}`
+	tp, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.LANRTT != 2*time.Millisecond || tp.WANBaseRTT != 50*time.Millisecond {
+		t.Fatalf("latency model: %v %v", tp.LANRTT, tp.WANBaseRTT)
+	}
+	if tp.CentralCluster().ID != 1 {
+		t.Fatalf("central = %d", tp.CentralCluster().ID)
+	}
+	if len(tp.Cluster(1).Workers) != 2 {
+		t.Fatal("worker count wrong")
+	}
+	// Defaults preserved for unset fields.
+	if tp.LANBandwidthMbps != 1000 {
+		t.Fatalf("default LAN bandwidth = %d", tp.LANBandwidthMbps)
+	}
+}
+
+func TestReadJSONRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        "not json",
+		"no clusters":    `{"clusters": []}`,
+		"no workers":     `{"clusters": [{"lat":0,"lon":0,"master":{"milli_cpu":1,"memory_mib":1},"workers":[]}]}`,
+		"zero cpu":       `{"clusters": [{"lat":0,"lon":0,"master":{"milli_cpu":1,"memory_mib":1},"workers":[{"milli_cpu":0,"memory_mib":1}]}]}`,
+		"no master cpu":  `{"clusters": [{"lat":0,"lon":0,"master":{"milli_cpu":0,"memory_mib":1},"workers":[{"milli_cpu":1,"memory_mib":1}]}]}`,
+		"unknown field":  `{"bogus": 1, "clusters": []}`,
+		"double central": `{"clusters": [{"lat":0,"lon":0,"central":true,"master":{"milli_cpu":1,"memory_mib":1},"workers":[{"milli_cpu":1,"memory_mib":1}]},{"lat":1,"lon":1,"central":true,"master":{"milli_cpu":1,"memory_mib":1},"workers":[{"milli_cpu":1,"memory_mib":1}]}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// Property: WriteJSON∘ReadJSON preserves every generated topology.
+func TestQuickJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		tp := DualSpace(int(seed%5)+1, seed)
+		var b strings.Builder
+		if err := tp.WriteJSON(&b); err != nil {
+			return false
+		}
+		got, err := ReadJSON(strings.NewReader(b.String()))
+		if err != nil || len(got.Nodes) != len(tp.Nodes) {
+			return false
+		}
+		for i := range tp.Nodes {
+			if got.Nodes[i].Capacity != tp.Nodes[i].Capacity {
+				return false
+			}
+		}
+		return got.CentralCluster().ID == tp.CentralCluster().ID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

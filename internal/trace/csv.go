@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/topo"
+)
+
+// csvHeader is the column layout used by WriteCSV and cmd/tracegen.
+var csvHeader = []string{"id", "type", "class", "arrival_ns", "cluster"}
+
+// WriteCSV serializes a request trace in the tracegen format.
+func WriteCSV(w io.Writer, reqs []Request) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, r := range reqs {
+		rec := []string{
+			strconv.FormatInt(r.ID, 10),
+			strconv.Itoa(int(r.Type)),
+			r.Class.String(),
+			strconv.FormatInt(int64(r.Arrival), 10),
+			strconv.Itoa(int(r.Cluster)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV / cmd/tracegen. The catalog
+// validates type IDs and supplies each request's class (which must match
+// the recorded class).
+func ReadCSV(r io.Reader, cat *Catalog) ([]Request, error) {
+	if cat == nil {
+		cat = DefaultCatalog()
+	}
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var out []Request
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad id %q", line, rec[0])
+		}
+		tid, err := strconv.Atoi(rec[1])
+		if err != nil || tid < 0 || tid >= len(cat.Types) {
+			return nil, fmt.Errorf("trace: line %d: bad type %q", line, rec[1])
+		}
+		st := cat.Type(TypeID(tid))
+		if rec[2] != st.Class.String() {
+			return nil, fmt.Errorf("trace: line %d: class %q does not match type %d (%s)",
+				line, rec[2], tid, st.Class)
+		}
+		ns, err := strconv.ParseInt(rec[3], 10, 64)
+		if err != nil || ns < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad arrival %q", line, rec[3])
+		}
+		cid, err := strconv.Atoi(rec[4])
+		if err != nil || cid < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad cluster %q", line, rec[4])
+		}
+		out = append(out, Request{
+			ID: id, Type: TypeID(tid), Class: st.Class,
+			Arrival: time.Duration(ns),
+			Cluster: topo.ClusterID(cid),
+		})
+	}
+	// Enforce the sorted-arrival invariant callers rely on.
+	for i := 1; i < len(out); i++ {
+		if out[i].Arrival < out[i-1].Arrival {
+			return nil, fmt.Errorf("trace: arrivals not sorted at row %d", i+1)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/topo"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := DefaultGenConfig([]topo.ClusterID{0, 1, 2}, P3, 5*time.Second, 9)
+	cfg.LCRatePerSec, cfg.BERatePerSec = 30, 12
+	reqs := Generate(cfg)
+	var b strings.Builder
+	if err := WriteCSV(&b, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(b.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("round trip lost rows: %d vs %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestCSVEmptyTrace(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(b.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("rows = %d", len(got))
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad header":     "a,b,c,d,e\n",
+		"short header":   "id,type,class\n",
+		"bad id":         "id,type,class,arrival_us,cluster\nx,0,LC,0,0\n",
+		"bad type":       "id,type,class,arrival_us,cluster\n1,99,LC,0,0\n",
+		"class mismatch": "id,type,class,arrival_us,cluster\n1,0,BE,0,0\n",
+		"bad arrival":    "id,type,class,arrival_us,cluster\n1,0,LC,-5,0\n",
+		"bad cluster":    "id,type,class,arrival_us,cluster\n1,0,LC,0,-1\n",
+		"unsorted":       "id,type,class,arrival_us,cluster\n1,0,LC,100,0\n2,0,LC,50,0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), nil); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// Property: WriteCSV∘ReadCSV is the identity for any generated trace.
+func TestQuickCSVRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := DefaultGenConfig([]topo.ClusterID{0, 1}, Pattern(seed%4+3)%4, 2*time.Second, seed)
+		cfg.LCRatePerSec, cfg.BERatePerSec = 20, 10
+		reqs := Generate(cfg)
+		var b strings.Builder
+		if err := WriteCSV(&b, reqs); err != nil {
+			return false
+		}
+		got, err := ReadCSV(strings.NewReader(b.String()), nil)
+		if err != nil || len(got) != len(reqs) {
+			return false
+		}
+		for i := range reqs {
+			if got[i] != reqs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
