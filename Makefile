@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test race bench check fmt vet clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiments package takes ~5 min without -race and far longer with
+# it; the default 10m per-package timeout is not enough.
+race:
+	$(GO) test -race -timeout 120m ./...
+
+# The trace-overhead contract: TraceOff and TraceNull must report the
+# same allocs/op (see bench_test.go).
+bench-trace:
+	$(GO) test -bench 'BenchmarkEngineTrace' -benchtime 100x -run xxx .
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+check: fmt vet build race
+
+clean:
+	$(GO) clean ./...
+	rm -f tango-sim tango-bench

@@ -14,7 +14,13 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/hrm"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // benchCfg is a trimmed quick configuration so `go test -bench=.`
@@ -196,3 +202,60 @@ func BenchmarkAblationPreemption(b *testing.B) {
 		reportValues(b, r, "qos_preempt_on", "qos_preempt_off")
 	}
 }
+
+// ---- tracing overhead ----
+//
+// The three BenchmarkEngineTrace* variants run the identical engine
+// workload with tracing disabled (nil tracer), enabled into the
+// discarding NullSink, and enabled into a RingSink. Comparing TraceOff
+// and TraceNull bounds the cost the obs hooks add to the hot path; the
+// contract is ≤2% time and zero extra allocations per op.
+
+// benchEngineTrace runs ~500 mixed requests per iteration through a bare
+// engine on the physical testbed, dispatched round-robin over the
+// workers. The tracer is built once, outside the timed loop, and reads
+// the clock of whichever simulator is currently running, so per-op allocs
+// measure only the emission path.
+func benchEngineTrace(b *testing.B, sink obs.Sink) {
+	tp := topo.PhysicalTestbed()
+	cat := trace.DefaultCatalog()
+	var clusters []topo.ClusterID
+	for _, c := range tp.Clusters {
+		clusters = append(clusters, c.ID)
+	}
+	gen := trace.DefaultGenConfig(clusters, trace.P3, 4*time.Second, 1)
+	gen.LCRatePerSec = 90
+	gen.BERatePerSec = 35
+	reqs := trace.Generate(gen)
+
+	var cur *sim.Simulator
+	var tr *obs.Tracer
+	if sink != nil {
+		tr = obs.NewTracer(func() time.Duration { return cur.Now() }, sink)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sim.New()
+		cur = s
+		eng := engine.New(engine.Config{
+			Sim: s, Topo: tp, Catalog: cat, Policy: hrm.NewRegulations(),
+			ScaleLatency: 23 * time.Millisecond, LCAbandonFactor: 3,
+			Tracer: tr,
+		})
+		workers := eng.Nodes()
+		for j, r := range reqs {
+			req := eng.NewRequest(r)
+			w := workers[j%len(workers)]
+			s.Schedule(r.Arrival, func() { eng.Dispatch(req, w.ID) })
+		}
+		s.Run()
+		if eng.Completed == 0 {
+			b.Fatal("workload completed nothing")
+		}
+	}
+}
+
+func BenchmarkEngineTraceOff(b *testing.B)  { benchEngineTrace(b, nil) }
+func BenchmarkEngineTraceNull(b *testing.B) { benchEngineTrace(b, obs.NullSink{}) }
+func BenchmarkEngineTraceRing(b *testing.B) { benchEngineTrace(b, obs.NewRingSink(4096)) }

@@ -12,20 +12,26 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment ID to run (default: all)")
-		full = flag.Bool("full", false, "paper-scale configuration (much slower)")
-		list = flag.Bool("list", false, "list experiment IDs and exit")
-		seed = flag.Int64("seed", 1, "random seed")
+		exp      = flag.String("exp", "", "experiment ID to run (default: all)")
+		full     = flag.Bool("full", false, "paper-scale configuration (much slower)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		seed     = flag.Int64("seed", 1, "random seed")
+		traceOut = flag.String("trace", "", "write lifecycle events of every run as NDJSON to this file")
+		report   = flag.String("report", "", "write a suite report (JSON) to this file")
+		profile  = flag.String("pprof", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
@@ -74,19 +80,104 @@ func main() {
 	}
 	cfg.Seed = *seed
 
+	var wsink *obs.WriterSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		wsink = obs.NewWriterSink(f)
+		cfg.TraceSink = wsink
+	}
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Suite report: one entry per experiment, with the machine-readable
+	// values each Result exposes and the wall time it took.
+	type expReport struct {
+		ID     string             `json:"id"`
+		Title  string             `json:"title"`
+		WallMs float64            `json:"wall_ms"`
+		Values map[string]float64 `json:"values,omitempty"`
+		Notes  []string           `json:"notes,omitempty"`
+	}
+	suite := struct {
+		Schema      string            `json:"schema"`
+		Config      map[string]string `json:"config"`
+		Digest      string            `json:"config_digest"`
+		Experiments []expReport       `json:"experiments"`
+	}{
+		Schema: "tango.suite-report/v1",
+		Config: map[string]string{
+			"seed":     fmt.Sprintf("%d", cfg.Seed),
+			"duration": cfg.Duration.String(),
+			"drain":    cfg.Drain.String(),
+			"lc_rate":  fmt.Sprintf("%g", cfg.LCRate),
+			"be_rate":  fmt.Sprintf("%g", cfg.BERate),
+			"virtual":  fmt.Sprintf("%d", cfg.VirtualClusters),
+			"full":     fmt.Sprintf("%t", *full),
+		},
+	}
+	suite.Digest = obs.ConfigDigest(suite.Config)
+
 	ran := 0
 	for _, e := range entries {
 		if *exp != "" && e.id != *exp {
 			continue
 		}
+		cfg.TraceTag = e.id
 		start := time.Now()
 		r := e.fn(cfg)
+		took := time.Since(start)
 		fmt.Println(r.String())
-		fmt.Printf("(%s took %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s took %v)\n\n", e.id, took.Round(time.Millisecond))
+		suite.Experiments = append(suite.Experiments, expReport{
+			ID: r.ID, Title: r.Title, WallMs: float64(took) / float64(time.Millisecond),
+			Values: r.Values, Notes: r.Notes,
+		})
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
 		os.Exit(2)
+	}
+	if wsink != nil {
+		if err := wsink.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d lines -> %s\n", wsink.Lines, *traceOut)
+	}
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&suite); err == nil {
+			err = f.Close()
+		} else {
+			_ = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report: %s (config digest %s)\n", *report, suite.Digest)
 	}
 }

@@ -7,17 +7,20 @@
 //	tango-sim -system ceres -pattern P1         # CERES under pattern P1
 //	tango-sim -virtual 100 -duration 30s        # dual-space scale
 //	tango-sim -system k8s -series               # print the period series
+//	tango-sim -trace out.ndjson -report r.json  # export events + run report
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
@@ -34,6 +37,9 @@ func main() {
 		beRate   = flag.Float64("be-rate", 25, "BE requests per second (system-wide)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		series   = flag.Bool("series", false, "print per-period series")
+		traceOut = flag.String("trace", "", "write lifecycle events as NDJSON to this file")
+		report   = flag.String("report", "", "write the run report (JSON) to this file")
+		profile  = flag.String("pprof", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
@@ -96,15 +102,72 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Observability: -trace streams NDJSON events; -report alone still
+	// needs a tracer (for the event counts), so it gets a discarding sink.
+	var wsink *obs.WriterSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		wsink = obs.NewWriterSink(f)
+		opts.TraceSink = wsink
+	} else if *report != "" {
+		opts.TraceSink = obs.NullSink{}
+	}
+	opts.TraceTag = *system
+
 	fmt.Printf("system=%s pattern=%s clusters=%d workers=%d requests=%d (LC %d / BE %d)\n",
 		*system, pat, len(tp.Clusters), len(tp.Nodes)-len(tp.Clusters), len(reqs),
 		countClass(reqs, trace.LC), countClass(reqs, trace.BE))
+
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	start := time.Now()
 	sys := core.New(opts)
 	sys.Inject(reqs)
 	sys.Run(*duration + *drain)
 	elapsed := time.Since(start)
+
+	if wsink != nil {
+		if err := wsink.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events (%d lines) -> %s\n", sys.Tracer.Emitted(), wsink.Lines, *traceOut)
+	}
+	if *report != "" {
+		rep := sys.Report(*system, elapsed)
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rep.Write(f); err == nil {
+			err = f.Close()
+		} else {
+			_ = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report: %s (config digest %s)\n", *report, rep.ConfigDigest)
+	}
 
 	sum := sys.Summarize(*system)
 	tb := metrics.NewTable("summary", "metric", "value")

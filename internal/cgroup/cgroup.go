@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/res"
 )
 
@@ -132,7 +133,13 @@ func (g *Group) effectiveMemory() int64 {
 // Hierarchy is a complete cgroup tree rooted at "kubepods".
 type Hierarchy struct {
 	root *Group
+	trc  *obs.Tracer
 }
+
+// SetTracer attaches a tracer; every subsequent successful limit write
+// emits a cgroup-write event (Detail = group path, Value = mCPU quota,
+// Aux = MiB limit) — the D-VPA operation stream of §4.2.
+func (h *Hierarchy) SetTracer(t *obs.Tracer) { h.trc = t }
 
 // NewHierarchy creates the kubepods root with one child per QoS class,
 // mirroring what kubelet builds at node start-up. rootCap is the node's
@@ -224,6 +231,9 @@ func (h *Hierarchy) SetLimits(g *Group, l Limits) error {
 	}
 	g.limits = l
 	g.writes++
+	if tr := h.trc; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.EvCgroup).Note(g.Path()).Val(float64(l.CPUQuota)).Au(l.MemoryMiB))
+	}
 	return nil
 }
 

@@ -21,6 +21,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"time"
 
 	"repro/internal/dcgbe"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/hrm"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/state"
@@ -78,6 +81,15 @@ type Options struct {
 	LCAbandonFactor float64
 	// GeoRadiusKm bounds LC candidate clusters (footnote 4).
 	GeoRadiusKm float64
+
+	// TraceSink, when non-nil, enables simulation-time tracing: a Tracer
+	// over the system clock is wired into the engine, the DSS-LC
+	// scheduler and the QoS re-assurer, and every lifecycle event is
+	// recorded into the sink. Use obs.NullSink{} to collect only the
+	// per-kind event counts for the run report.
+	TraceSink obs.Sink
+	// TraceTag stamps every event (distinguishes systems sharing a sink).
+	TraceTag string
 }
 
 // Tango returns the full Tango configuration over a topology.
@@ -110,6 +122,8 @@ type System struct {
 	central  topo.ClusterID
 
 	Metrics *Collector
+	// Tracer is non-nil when Options.TraceSink was set.
+	Tracer *obs.Tracer
 
 	periodics []*sim.Event
 }
@@ -147,12 +161,17 @@ func New(o Options) *System {
 		central:  o.Topo.CentralCluster().ID,
 	}
 	s.Metrics = NewCollector(o.Period)
+	if o.TraceSink != nil {
+		s.Tracer = obs.NewTracer(s.Sim.Now, o.TraceSink)
+		s.Tracer.SetTag(o.TraceTag)
+	}
 	s.Engine = engine.New(engine.Config{
 		Sim: s.Sim, Topo: o.Topo, Catalog: o.Catalog, Policy: o.Policy,
 		ScaleLatency:    o.ScaleLatency,
 		LCAbandonFactor: o.LCAbandonFactor,
 		OnOutcome:       s.onOutcome,
 		OnDisplaced:     s.redispatch,
+		Tracer:          s.Tracer,
 	})
 	if o.MakeLC == nil {
 		o.MakeLC = func(e *engine.Engine, seed int64) any { return dsslc.New(e, seed) }
@@ -162,9 +181,13 @@ func New(o Options) *System {
 	}
 	s.lcSched = o.MakeLC(s.Engine, o.Seed)
 	s.beSched = o.MakeBE(s.Engine, o.Seed+1)
+	if lc, ok := s.lcSched.(*dsslc.Scheduler); ok {
+		lc.Tracer = s.Tracer
+	}
 
 	if o.Reassure {
 		s.reassurer = hrm.NewReAssurer(s.Engine)
+		s.reassurer.Tracer = s.Tracer
 		s.observers = append(s.observers, s.reassurer.Observe)
 	}
 	if o.Boost {
@@ -244,6 +267,10 @@ func (s *System) Inject(reqs []trace.Request) {
 // forwarded to the central cluster when CentralBE).
 func (s *System) accept(tr trace.Request) {
 	r := s.Engine.NewRequest(tr)
+	if t := s.Tracer; t.Enabled() {
+		t.Emit(obs.Ev(obs.EvArrival).Req(r.ID).Clu(int(r.Cluster)).
+			Service(int(r.Type)).Cls(r.Class.String()))
+	}
 	s.Metrics.arrived(r)
 	if r.Class == trace.LC {
 		s.lcQueues[r.Cluster] = append(s.lcQueues[r.Cluster], r)
@@ -391,14 +418,37 @@ type Collector struct {
 	LCArrivalsSer   metrics.Series
 	BEArrivalsSer   metrics.Series
 
+	// registry is the labeled metric substrate (the Prometheus stand-in);
+	// each tick scrapes it into RegistrySeries, one period-indexed series
+	// per labeled sample (keyed name{labels}).
+	registry       *obs.Registry
+	RegistrySeries map[string]*metrics.Series
+	clusterStats   map[topo.ClusterID]*clusterStats
+	latencyHists   map[trace.TypeID]*obs.Histogram
+	nodeGauges     []nodeGauges
+
 	// Per-period scratch counters.
 	pLCArr, pBEArr       int64
 	pLCSat, pLCDone      int64
 	pBEDone              int64
 	pAbandoned           int64
 	latencies            []float64
+	allLatencies         []float64
 	sumLCLatenciesMs     float64
 	completedLCLatencies int64
+}
+
+// clusterStats caches the per-cluster counter handles so the arrival and
+// outcome paths update fields instead of doing registry lookups.
+type clusterStats struct {
+	arrLC, arrBE   *obs.Counter
+	doneLC, doneBE *obs.Counter
+	satisfied      *obs.Counter
+	abandoned      *obs.Counter
+}
+
+type nodeGauges struct {
+	util, queue, scaleOps *obs.Gauge
 }
 
 // NewCollector builds a collector with the given period.
@@ -414,38 +464,83 @@ func NewCollector(period time.Duration) *Collector {
 		TailLatencySer:  metrics.Series{Name: "lc-p95-ms"},
 		LCArrivalsSer:   metrics.Series{Name: "lc-arrivals"},
 		BEArrivalsSer:   metrics.Series{Name: "be-arrivals"},
+		registry:        obs.NewRegistry(),
+		RegistrySeries:  map[string]*metrics.Series{},
+		clusterStats:    map[topo.ClusterID]*clusterStats{},
+		latencyHists:    map[trace.TypeID]*obs.Histogram{},
 	}
 }
 
 // Bind attaches the collector to a system (for utilization sampling).
 func (c *Collector) Bind(s *System) { c.sys = s }
 
+// Registry exposes the labeled metric registry.
+func (c *Collector) Registry() *obs.Registry { return c.registry }
+
+func (c *Collector) statsFor(cl topo.ClusterID) *clusterStats {
+	cs, ok := c.clusterStats[cl]
+	if !ok {
+		l := obs.Labels{Cluster: fmt.Sprintf("c%d", cl)}
+		lc, be := l, l
+		lc.Service, be.Service = "LC", "BE"
+		cs = &clusterStats{
+			arrLC:     c.registry.Counter("tango_requests_arrived_total", lc),
+			arrBE:     c.registry.Counter("tango_requests_arrived_total", be),
+			doneLC:    c.registry.Counter("tango_requests_completed_total", lc),
+			doneBE:    c.registry.Counter("tango_requests_completed_total", be),
+			satisfied: c.registry.Counter("tango_lc_satisfied_total", l),
+			abandoned: c.registry.Counter("tango_lc_abandoned_total", l),
+		}
+		c.clusterStats[cl] = cs
+	}
+	return cs
+}
+
+func (c *Collector) latencyHist(t trace.TypeID) *obs.Histogram {
+	h, ok := c.latencyHists[t]
+	if !ok {
+		name := c.sys.Catalog.Type(t).Name
+		h = c.registry.Histogram("tango_lc_latency_ms", obs.Labels{Service: name}, nil)
+		c.latencyHists[t] = h
+	}
+	return h
+}
+
 func (c *Collector) arrived(r *engine.Request) {
+	cs := c.statsFor(r.Cluster)
 	if r.Class == trace.LC {
 		c.LC.Arrived++
 		c.pLCArr++
+		cs.arrLC.Inc()
 	} else {
 		c.BE.Arrived++
 		c.pBEArr++
+		cs.arrBE.Inc()
 	}
 }
 
 func (c *Collector) observe(o engine.Outcome) {
+	cs := c.statsFor(o.Req.Cluster)
 	if o.Req.Class == trace.LC {
 		if o.Completed {
 			c.LC.Completed++
 			c.pLCDone++
+			cs.doneLC.Inc()
 			if o.Satisfied {
 				c.LC.Satisfied++
 				c.pLCSat++
+				cs.satisfied.Inc()
 			}
 			ms := float64(o.Latency) / float64(time.Millisecond)
 			c.latencies = append(c.latencies, ms)
+			c.allLatencies = append(c.allLatencies, ms)
 			c.sumLCLatenciesMs += ms
 			c.completedLCLatencies++
+			c.latencyHist(o.Req.Type).Observe(ms)
 		} else {
 			c.LC.Abandoned++
 			c.pAbandoned++
+			cs.abandoned.Inc()
 		}
 		return
 	}
@@ -453,6 +548,7 @@ func (c *Collector) observe(o engine.Outcome) {
 		c.BE.Completed++
 		c.BE.Satisfied++
 		c.pBEDone++
+		cs.doneBE.Inc()
 	}
 }
 
@@ -477,6 +573,54 @@ func (c *Collector) tick() {
 	c.BEArrivalsSer.Append(float64(c.pBEArr))
 	c.pLCArr, c.pBEArr, c.pLCSat, c.pLCDone, c.pBEDone, c.pAbandoned = 0, 0, 0, 0, 0, 0
 	c.latencies = c.latencies[:0]
+	c.updateNodeGauges()
+	c.scrape()
+}
+
+// updateNodeGauges refreshes the per-node labeled gauges from live
+// engine state (the "Prometheus push" half of the pipeline).
+func (c *Collector) updateNodeGauges() {
+	nodes := c.sys.Engine.Nodes()
+	if c.nodeGauges == nil {
+		c.nodeGauges = make([]nodeGauges, len(nodes))
+		for i, n := range nodes {
+			l := obs.Labels{Cluster: fmt.Sprintf("c%d", n.Cluster), Node: fmt.Sprintf("%d", n.ID)}
+			c.nodeGauges[i] = nodeGauges{
+				util:     c.registry.Gauge("tango_node_utilization", l),
+				queue:    c.registry.Gauge("tango_node_queue_len", l),
+				scaleOps: c.registry.Gauge("tango_node_scale_ops_total", l),
+			}
+		}
+	}
+	for i, n := range nodes {
+		g := c.nodeGauges[i]
+		g.util.Set(n.Utilization())
+		lcq, beq := n.QueueLen()
+		g.queue.Set(float64(lcq + beq))
+		g.scaleOps.Set(float64(n.ScaleOps))
+	}
+}
+
+// scrape appends every registry sample to its period-indexed series.
+// Samples appearing for the first time mid-run are back-filled with
+// zeros so all registry series stay period-aligned.
+func (c *Collector) scrape() {
+	periods := len(c.UtilSeries.Values) - 1 // periods closed before this one
+	if periods < 0 {
+		periods = 0
+	}
+	for _, s := range c.registry.Gather() {
+		key := s.Key()
+		ser, ok := c.RegistrySeries[key]
+		if !ok {
+			ser = &metrics.Series{Name: key}
+			if periods > 0 {
+				ser.Values = make([]float64, periods)
+			}
+			c.RegistrySeries[key] = ser
+		}
+		ser.Append(s.Value)
+	}
 }
 
 // MeanLCLatencyMs returns the average completed-LC latency.
@@ -485,6 +629,27 @@ func (c *Collector) MeanLCLatencyMs() float64 {
 		return 0
 	}
 	return c.sumLCLatenciesMs / float64(c.completedLCLatencies)
+}
+
+// TailPercentiles returns exact nearest-rank percentiles over every
+// completed LC latency of the run (ms).
+func (c *Collector) TailPercentiles() map[string]float64 {
+	out := map[string]float64{"p50": 0, "p90": 0, "p95": 0, "p99": 0}
+	if len(c.allLatencies) == 0 {
+		return out
+	}
+	cp := make([]float64, len(c.allLatencies))
+	copy(cp, c.allLatencies)
+	sort.Float64s(cp)
+	rank := func(p float64) float64 {
+		idx := int(math.Ceil(p / 100 * float64(len(cp))))
+		if idx < 1 {
+			idx = 1
+		}
+		return cp[idx-1]
+	}
+	out["p50"], out["p90"], out["p95"], out["p99"] = rank(50), rank(90), rank(95), rank(99)
+	return out
 }
 
 func percentile95(v []float64) float64 {
@@ -561,5 +726,74 @@ func (s *System) Summarize(name string) Summary {
 		MeanUtil:    s.Metrics.UtilSeries.Mean(),
 		Abandoned:   s.Metrics.LC.Abandoned,
 		MeanLCLatMs: s.Metrics.MeanLCLatencyMs(),
+	}
+}
+
+// ConfigMap flattens the options that shape a run into the string map
+// hashed by obs.ConfigDigest.
+func (s *System) ConfigMap(name string) map[string]string {
+	o := s.opts
+	return map[string]string{
+		"system":            name,
+		"lc_scheduler":      s.LCSchedulerName(),
+		"be_scheduler":      s.BESchedulerName(),
+		"policy":            o.Policy.Name(),
+		"seed":              fmt.Sprintf("%d", o.Seed),
+		"clusters":          fmt.Sprintf("%d", len(s.Topo.Clusters)),
+		"workers":           fmt.Sprintf("%d", len(s.Engine.Nodes())),
+		"reassure":          fmt.Sprintf("%t", o.Reassure),
+		"boost":             fmt.Sprintf("%t", o.Boost),
+		"central_be":        fmt.Sprintf("%t", o.CentralBE),
+		"scale_latency":     o.ScaleLatency.String(),
+		"dispatch_every":    o.DispatchEvery.String(),
+		"period":            o.Period.String(),
+		"lc_abandon_factor": fmt.Sprintf("%g", o.LCAbandonFactor),
+		"geo_radius_km":     fmt.Sprintf("%g", o.GeoRadiusKm),
+	}
+}
+
+// Report builds the run-report document from the same collectors that
+// feed the printed tables: Phi is the table's QoS satisfaction rate and
+// Series["lc-p95-ms"] is the per-period p95 column, so report and tables
+// always agree. wall is the real time spent simulating.
+func (s *System) Report(name string, wall time.Duration) *obs.Report {
+	m := s.Metrics
+	cfg := s.ConfigMap(name)
+	series := map[string][]float64{}
+	for _, ser := range []*metrics.Series{
+		&m.UtilSeries, &m.LCUtilSeries, &m.BEUtilSeries, &m.QoSRateSeries,
+		&m.ThroughputSer, &m.AbandonedSeries, &m.TailLatencySer,
+		&m.LCArrivalsSer, &m.BEArrivalsSer,
+	} {
+		series[ser.Name] = ser.Values
+	}
+	for key, ser := range m.RegistrySeries {
+		series[key] = ser.Values
+	}
+	return &obs.Report{
+		Schema:       obs.ReportSchema,
+		System:       name,
+		Tag:          s.opts.TraceTag,
+		ConfigDigest: obs.ConfigDigest(cfg),
+		Config:       cfg,
+		VirtualMs:    float64(s.Sim.Now()) / float64(time.Millisecond),
+		PeriodMs:     float64(m.Period) / float64(time.Millisecond),
+		WallMs:       float64(wall) / float64(time.Millisecond),
+		Phi:          m.LC.Rate(),
+		LC: obs.ClassStats{
+			Arrived: m.LC.Arrived, Completed: m.LC.Completed,
+			Satisfied: m.LC.Satisfied, Abandoned: m.LC.Abandoned,
+		},
+		BE: obs.ClassStats{
+			Arrived: m.BE.Arrived, Completed: m.BE.Completed,
+			Satisfied: m.BE.Satisfied, Abandoned: m.BE.Abandoned,
+		},
+		BEThroughput:    int64(m.ThroughputSer.Sum()),
+		MeanUtilization: m.UtilSeries.Mean(),
+		MeanLCLatencyMs: m.MeanLCLatencyMs(),
+		TailLatencyMs:   m.TailPercentiles(),
+		Series:          series,
+		Metrics:         obs.SamplesToReport(m.Registry().Gather()),
+		EventCounts:     s.Tracer.Counts(),
 	}
 }

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/flow"
+	"repro/internal/obs"
 	"repro/internal/res"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -47,6 +48,10 @@ type Scheduler struct {
 	// Decisions counts batch solves, LastBatch the requests routed in the
 	// most recent one (for the decision-time benchmarks).
 	Decisions int64
+
+	// Tracer, when set, receives one flow-solve event per batch
+	// (Aux = batch size, Value = routed count).
+	Tracer *obs.Tracer
 }
 
 // New creates a DSS-LC scheduler with the paper's 500 km geo radius.
@@ -70,6 +75,11 @@ func (s *Scheduler) ScheduleBatch(c topo.ClusterID, reqs []*engine.Request) Assi
 		return out
 	}
 	s.Decisions++
+	if tr := s.Tracer; tr.Enabled() {
+		defer func() {
+			tr.Emit(obs.Ev(obs.EvFlowSolve).Clu(int(c)).Au(int64(len(reqs))).Val(float64(len(out))))
+		}()
+	}
 	workers := s.candidates(c)
 	if len(workers) == 0 {
 		return out

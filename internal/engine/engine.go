@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/res"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -109,12 +110,17 @@ type Config struct {
 	// node that is down on arrival). When nil, displaced LC requests are
 	// emitted as abandoned and BE requests as failed outcomes.
 	OnDisplaced func(reqs []*Request)
+	// Tracer receives one structured event per engine decision point
+	// (dispatch, queue, start, finish, abandon, compress, evict, boost,
+	// fail, recover). Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // Engine owns all worker-node runtimes.
 type Engine struct {
 	cfg   Config
 	nodes map[topo.NodeID]*Node
+	trc   *obs.Tracer
 	// counters
 	Completed int64
 	Abandoned int64
@@ -125,7 +131,7 @@ func New(cfg Config) *Engine {
 	if cfg.Sim == nil || cfg.Topo == nil || cfg.Catalog == nil || cfg.Policy == nil {
 		panic("engine: Config requires Sim, Topo, Catalog and Policy")
 	}
-	e := &Engine{cfg: cfg, nodes: map[topo.NodeID]*Node{}}
+	e := &Engine{cfg: cfg, nodes: map[topo.NodeID]*Node{}, trc: cfg.Tracer}
 	for _, n := range cfg.Topo.Nodes {
 		if n.Role != topo.Worker {
 			continue
@@ -164,6 +170,9 @@ func (e *Engine) Nodes() []*Node {
 
 // Sim exposes the simulator (for policies needing the clock).
 func (e *Engine) Sim() *sim.Simulator { return e.cfg.Sim }
+
+// Tracer returns the engine's tracer (nil when tracing is disabled).
+func (e *Engine) Tracer() *obs.Tracer { return e.trc }
 
 // Catalog returns the service catalog the engine was built with.
 func (e *Engine) Catalog() *trace.Catalog { return e.cfg.Catalog }
@@ -208,6 +217,10 @@ func (e *Engine) Dispatch(r *Request, target topo.NodeID) {
 	d := n.EffectiveDemand(r.Type)
 	n.inTransit = n.inTransit.Add(d)
 	delay := e.TransitDelay(r.Cluster, target, r.SType.TxKB)
+	if tr := e.trc; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.EvDispatch).Req(r.ID).Clu(int(r.Cluster)).Node(int(target)).
+			Service(int(r.Type)).Cls(r.Class.String()).Val(float64(delay) / float64(time.Millisecond)))
+	}
 	e.cfg.Sim.Schedule(delay, func() {
 		n.inTransit = n.inTransit.Sub(d)
 		n.arrive(r)
@@ -239,6 +252,11 @@ func (n *Node) arrive(r *Request) {
 	} else {
 		n.queueBE = append(n.queueBE, r)
 	}
+	if tr := n.eng.trc; tr.Enabled() {
+		lcq, beq := len(n.queueLC), len(n.queueBE)
+		tr.Emit(obs.Ev(obs.EvQueue).Req(r.ID).Node(int(n.ID)).Service(int(r.Type)).
+			Cls(r.Class.String()).Au(int64(lcq + beq)))
+	}
 }
 
 func (n *Node) armAbandon(r *Request) {
@@ -263,6 +281,11 @@ func (n *Node) abandon(r *Request) {
 		}
 	}
 	n.eng.Abandoned++
+	if tr := n.eng.trc; tr.Enabled() {
+		age := n.eng.cfg.Sim.Now() - r.Arrival
+		tr.Emit(obs.Ev(obs.EvAbandon).Req(r.ID).Node(int(n.ID)).Service(int(r.Type)).
+			Cls(r.Class.String()).Val(float64(age) / float64(time.Millisecond)))
+	}
 	n.eng.emit(Outcome{
 		Req: r, Completed: false, Satisfied: false,
 		Latency:    n.eng.cfg.Sim.Now() - r.Arrival,
@@ -297,6 +320,11 @@ func (n *Node) start(r *Request, alloc res.Vector) {
 		seq:        n.seq,
 	}
 	n.running[r.ID] = ru
+	if tr := n.eng.trc; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.EvStart).Req(r.ID).Node(int(n.ID)).Service(int(r.Type)).
+			Cls(r.Class.String()).Val(float64(alloc.MilliCPU)).
+			Au(int64((now - r.enqueuedAt) / time.Microsecond)))
+	}
 	n.scheduleDone(ru, n.eng.cfg.ScaleLatency)
 }
 
@@ -340,6 +368,14 @@ func (n *Node) finish(ru *running) {
 		satisfied = latency <= r.SType.QoSTarget
 	}
 	n.eng.Completed++
+	if tr := n.eng.trc; tr.Enabled() {
+		var sat int64
+		if satisfied {
+			sat = 1
+		}
+		tr.Emit(obs.Ev(obs.EvFinish).Req(r.ID).Node(int(n.ID)).Service(int(r.Type)).
+			Cls(r.Class.String()).Val(float64(latency) / float64(time.Millisecond)).Au(sat))
+	}
 	n.eng.emit(Outcome{Req: r, Completed: true, Satisfied: satisfied, Latency: latency, FinishedAt: now})
 	n.drain()
 }
@@ -508,6 +544,10 @@ func (n *Node) CompressBE(need res.Vector, minKeepFrac float64) res.Vector {
 		n.used = n.used.Sub(cut)
 		freed = freed.Add(cut)
 		n.ScaleOps++
+		if tr := n.eng.trc; tr.Enabled() {
+			tr.Emit(obs.Ev(obs.EvCompress).Req(ru.req.ID).Node(int(n.ID)).
+				Service(int(ru.req.Type)).Val(float64(cutCPU)).Au(cutBW))
+		}
 		n.scheduleDone(ru, 0)
 	}
 	return freed
@@ -533,6 +573,10 @@ func (n *Node) EvictBE(needMemMiB int64) int64 {
 		ru.req.Restarts++
 		n.queueBE = append(n.queueBE, ru.req)
 		n.ScaleOps++
+		if tr := n.eng.trc; tr.Enabled() {
+			tr.Emit(obs.Ev(obs.EvEvict).Req(ru.req.ID).Node(int(n.ID)).
+				Service(int(ru.req.Type)).Val(float64(ru.alloc.MemoryMiB)).Au(int64(ru.req.Restarts)))
+		}
 	}
 	return reclaimed
 }
@@ -553,6 +597,10 @@ func (n *Node) EvictBEUntil(need res.Vector) bool {
 		ru.req.Restarts++
 		n.queueBE = append(n.queueBE, ru.req)
 		n.ScaleOps++
+		if tr := n.eng.trc; tr.Enabled() {
+			tr.Emit(obs.Ev(obs.EvEvict).Req(ru.req.ID).Node(int(n.ID)).
+				Service(int(ru.req.Type)).Val(float64(ru.alloc.MemoryMiB)).Au(int64(ru.req.Restarts)))
+		}
 	}
 	return n.Free().Fits(need)
 }
@@ -592,6 +640,10 @@ func (n *Node) GrantBE(reqID int64, extraCPU int64) int64 {
 	ru.alloc.MilliCPU += extraCPU
 	n.used.MilliCPU += extraCPU
 	n.ScaleOps++
+	if tr := n.eng.trc; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.EvBoost).Req(reqID).Node(int(n.ID)).
+			Service(int(ru.req.Type)).Val(float64(extraCPU)))
+	}
 	n.scheduleDone(ru, 0)
 	return extraCPU
 }
@@ -645,11 +697,21 @@ func (n *Node) Fail() {
 			displaced[j], displaced[j-1] = displaced[j-1], displaced[j]
 		}
 	}
+	if tr := n.eng.trc; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.EvNodeFail).Node(int(n.ID)).Clu(int(n.Cluster)).Au(int64(len(displaced))))
+	}
 	n.eng.displace(displaced)
 }
 
 // Recover brings a failed node back with empty queues and full capacity.
-func (n *Node) Recover() { n.down = false }
+func (n *Node) Recover() {
+	if n.down {
+		if tr := n.eng.trc; tr.Enabled() {
+			tr.Emit(obs.Ev(obs.EvNodeRecover).Node(int(n.ID)).Clu(int(n.Cluster)))
+		}
+	}
+	n.down = false
+}
 
 func (e *Engine) displace(reqs []*Request) {
 	if len(reqs) == 0 {

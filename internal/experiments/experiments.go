@@ -22,6 +22,7 @@ import (
 	"repro/internal/hrm"
 	"repro/internal/k8s"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/res"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -38,6 +39,21 @@ type Config struct {
 	BERate   float64       // system-wide BE requests/second
 	// VirtualClusters sizes the Figure 13 dual-space run (paper: 100).
 	VirtualClusters int
+	// TraceSink, when set, receives the lifecycle events of every system
+	// the experiment runs (see internal/obs). TraceTag labels the events
+	// so runs sharing one sink stay distinguishable.
+	TraceSink obs.Sink
+	TraceTag  string
+}
+
+// apply threads the experiment-level observability settings into one
+// system's options.
+func (c Config) apply(o core.Options) core.Options {
+	o.TraceSink = c.TraceSink
+	if o.TraceTag == "" {
+		o.TraceTag = c.TraceTag
+	}
+	return o
 }
 
 // Quick returns a configuration that keeps the whole suite fast.
@@ -135,8 +151,8 @@ func (c Config) traceLoad(t *topo.Topology, p trace.Pattern, lcFrac, beFrac floa
 }
 
 // run executes one system over a request trace and returns it finished.
-func run(o core.Options, reqs []trace.Request, until time.Duration) *core.System {
-	sys := core.New(o)
+func (c Config) run(o core.Options, reqs []trace.Request, until time.Duration) *core.System {
+	sys := core.New(c.apply(o))
 	sys.Inject(reqs)
 	sys.Run(until)
 	return sys
@@ -197,7 +213,7 @@ func Fig1(cfg Config) *Result {
 	c.LCRatePerSec = lcR
 	c.BERatePerSec = 0
 	c.PeriodicCycle = cfg.Duration // one "day" across the run
-	sys := run(o, trace.Generate(c), cfg.Duration+cfg.Drain)
+	sys := cfg.run(o, trace.Generate(c), cfg.Duration+cfg.Drain)
 
 	util := sys.Metrics.UtilSeries
 	tb := metrics.NewTable("Figure 1 — industrial edge-cloud measurement (LC only)",
@@ -255,8 +271,8 @@ func Fig9(cfg Config) *Result {
 			CentralBE:    false,
 			ScaleLatency: hrm.DVPAOpLatency,
 		}
-		hrmSys := run(hrmOpts, reqs, cfg.Duration+cfg.Drain)
-		natSys := run(baselines.K8sNative(tp, reqs, cfg.Seed), reqs, cfg.Duration+cfg.Drain)
+		hrmSys := cfg.run(hrmOpts, reqs, cfg.Duration+cfg.Drain)
+		natSys := cfg.run(baselines.K8sNative(tp, reqs, cfg.Seed), reqs, cfg.Duration+cfg.Drain)
 		for _, e := range []struct {
 			name string
 			sys  *core.System
@@ -287,6 +303,12 @@ func DVPAMicro(cfg Config) *Result {
 	s := sim.New()
 	store := k8s.NewStore(s)
 	kl := k8s.NewKubelet(s, store, 1, res.V(8000, 16384, 0))
+	if cfg.TraceSink != nil {
+		tr := obs.NewTracer(s.Now, cfg.TraceSink)
+		tr.SetTag(cfg.TraceTag)
+		store.SetTracer(tr)
+		kl.Node().CGroups.SetTracer(tr)
+	}
 	pod, err := store.CreatePod(k8s.PodSpec{
 		Name: "svc", QoS: cgroup.Burstable,
 		Request: res.V(1000, 1024, 0), Limit: res.V(1000, 1024, 0), Node: 1,
@@ -356,7 +378,7 @@ func Fig10(cfg Config) *Result {
 		for i, reassure := range []bool{true, false} {
 			o := core.Tango(tp, cfg.Seed)
 			o.Reassure = reassure
-			sys := run(o, reqs, cfg.Duration+cfg.Drain)
+			sys := cfg.run(o, reqs, cfg.Duration+cfg.Drain)
 			qos[i] = sys.Metrics.LC.Rate()
 			tput[i] = sys.Metrics.ThroughputSer.Sum()
 		}
@@ -390,7 +412,7 @@ func Fig11ab(cfg Config) *Result {
 		o := core.Tango(tp, cfg.Seed)
 		o.MakeLC = MakeLCSched(name)
 		o.MakeBE = MakeBESched("k8s-native")
-		sys := run(o, reqs, cfg.Duration+cfg.Drain)
+		sys := cfg.run(o, reqs, cfg.Duration+cfg.Drain)
 		m := sys.Metrics
 		p95 := m.TailLatencySer.Mean()
 		tb.AddRowF(name, m.LC.Rate(), m.MeanLCLatencyMs(), p95, m.LC.Abandoned)
@@ -469,7 +491,7 @@ func Fig11c(cfg Config) *Result {
 		o := core.Tango(tp, cfg.Seed)
 		o.MakeLC = MakeLCSched("k8s-native")
 		o.MakeBE = MakeBESched(name)
-		sys := run(o, reqs, cfg.Duration+cfg.Drain)
+		sys := cfg.run(o, reqs, cfg.Duration+cfg.Drain)
 		tputs[name] = sys.Metrics.ThroughputSer.Sum()
 		if tputs[name] > best {
 			best = tputs[name]
@@ -509,7 +531,7 @@ func Fig11d(cfg Config) *Result {
 		o.MakeBE = func(e *engine.Engine, seed int64) any {
 			return dcgbe.NewVariant(e, dcgbe.Variant{Encoder: encName}, seed)
 		}
-		sys := run(o, reqs, cfg.Duration+cfg.Drain)
+		sys := cfg.run(o, reqs, cfg.Duration+cfg.Drain)
 		tputs[enc.label] = sys.Metrics.ThroughputSer.Sum()
 		if tputs[enc.label] > best {
 			best = tputs[enc.label]
@@ -546,7 +568,7 @@ func Fig12(cfg Config) *Result {
 			o := core.Tango(tp, cfg.Seed)
 			o.MakeLC = MakeLCSched(lc)
 			o.MakeBE = MakeBESched(be)
-			sys := run(o, reqs, cfg.Duration+cfg.Drain)
+			sys := cfg.run(o, reqs, cfg.Duration+cfg.Drain)
 			q := sys.Metrics.LC.Rate()
 			tp2 := sys.Metrics.ThroughputSer.Sum()
 			qrow = append(qrow, q)
@@ -588,7 +610,7 @@ func Fig13(cfg Config) *Result {
 	}
 	values := map[string]float64{}
 	for _, r := range rows {
-		sys := run(r.opts, reqs, cfg.Duration+cfg.Drain)
+		sys := cfg.run(r.opts, reqs, cfg.Duration+cfg.Drain)
 		m := sys.Metrics
 		tput := m.ThroughputSer.Sum()
 		tb.AddRowF(r.name, m.UtilSeries.Mean()*100, m.LC.Rate(), int64(tput), m.LC.Abandoned)
@@ -630,7 +652,7 @@ func AblationMasking(cfg Config) *Result {
 			s.DisableMasking = !m
 			return s
 		}
-		sys := run(o, reqs, cfg.Duration+cfg.Drain)
+		sys := cfg.run(o, reqs, cfg.Duration+cfg.Drain)
 		label := "on"
 		if !masked {
 			label = "off"
@@ -657,7 +679,7 @@ func AblationReward(cfg Config) *Result {
 			s.Eta = etaV
 			return s
 		}
-		sys := run(o, reqs, cfg.Duration+cfg.Drain)
+		sys := cfg.run(o, reqs, cfg.Duration+cfg.Drain)
 		tb.AddRowF(eta, int64(sys.Metrics.ThroughputSer.Sum()))
 		values[fmt.Sprintf("tput_eta_%g", eta)] = sys.Metrics.ThroughputSer.Sum()
 	}
@@ -677,7 +699,7 @@ func AblationPreemption(cfg Config) *Result {
 		pol := hrm.NewRegulations()
 		pol.DisablePreemption = !on
 		o.Policy = pol
-		sys := run(o, reqs, cfg.Duration+cfg.Drain)
+		sys := cfg.run(o, reqs, cfg.Duration+cfg.Drain)
 		label := "on"
 		if !on {
 			label = "off"

@@ -28,7 +28,7 @@ func Failover(cfg Config) *Result {
 	recoverAt := 2 * cfg.Duration / 3
 
 	runWith := func(o core.Options) (*core.System, core.Summary) {
-		sys := core.New(o)
+		sys := core.New(cfg.apply(o))
 		sys.Inject(reqs)
 		for _, v := range tp.Cluster(0).Workers[:2] {
 			sys.FailNode(v, failAt)
@@ -40,7 +40,7 @@ func Failover(cfg Config) *Result {
 
 	tangoSys, tango := runWith(core.Tango(tp, cfg.Seed))
 	// A Tango system without failures, for the degradation baseline.
-	clean := core.New(core.Tango(tp, cfg.Seed))
+	clean := core.New(cfg.apply(core.Tango(tp, cfg.Seed)))
 	clean.Inject(reqs)
 	clean.Run(cfg.Duration + cfg.Drain)
 

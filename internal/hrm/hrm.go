@@ -27,6 +27,7 @@ import (
 	"repro/internal/cgroup"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/res"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -251,6 +252,9 @@ type ReAssurer struct {
 	windows map[topo.NodeID]map[trace.TypeID]*metrics.Window
 	// Adjustments counts override changes (for reporting).
 	Adjustments int64
+	// Tracer, when set, receives one reassure event per override change
+	// (Value = slack δ, Aux = new minimum mCPU, Detail = grow/shrink).
+	Tracer *obs.Tracer
 }
 
 // NewReAssurer returns the mechanism with the paper-shaped defaults:
@@ -342,6 +346,10 @@ func (ra *ReAssurer) Tick() {
 				if next != cur {
 					n.AllocOverride[t] = next
 					ra.Adjustments++
+					if tr := ra.Tracer; tr.Enabled() {
+						tr.Emit(obs.Ev(obs.EvReassure).Node(int(nodeID)).Service(int(t)).
+							Val(slack).Au(next.MilliCPU).Note("grow"))
+					}
 				}
 			case slack > ra.Beta: // excellent: release resources
 				next := cur
@@ -352,6 +360,10 @@ func (ra *ReAssurer) Tick() {
 				if next != cur {
 					n.AllocOverride[t] = next
 					ra.Adjustments++
+					if tr := ra.Tracer; tr.Enabled() {
+						tr.Emit(obs.Ev(obs.EvReassure).Node(int(nodeID)).Service(int(t)).
+							Val(slack).Au(next.MilliCPU).Note("shrink"))
+					}
 				}
 			}
 		}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/cgroup"
+	"repro/internal/obs"
 	"repro/internal/res"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -116,7 +117,12 @@ type Store struct {
 	order    []string // insertion order for deterministic iteration
 	watchers []func(Event)
 	uidSeq   int
+	trc      *obs.Tracer
 }
+
+// SetTracer attaches a tracer; every subsequent pod mutation emits a pod
+// event (Detail = "EVENT/Phase pod-name", Node = bound worker).
+func (s *Store) SetTracer(t *obs.Tracer) { s.trc = t }
 
 // NewStore creates an empty object store on the given simulator.
 func NewStore(s *sim.Simulator) *Store {
@@ -127,6 +133,10 @@ func NewStore(s *sim.Simulator) *Store {
 func (s *Store) Watch(fn func(Event)) { s.watchers = append(s.watchers, fn) }
 
 func (s *Store) notify(e Event) {
+	if tr := s.trc; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.EvPod).Node(int(e.Pod.Spec.Node)).
+			Note(e.Type.String() + "/" + e.Pod.Phase.String() + " " + e.Pod.Spec.Name))
+	}
 	for _, w := range s.watchers {
 		w(e)
 	}

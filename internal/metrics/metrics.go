@@ -20,6 +20,10 @@ import (
 type Window struct {
 	span    time.Duration
 	samples []sample
+	// scratch is reused across Percentile calls: the QoS re-assurance
+	// loop queries every service's window each 100 ms tick, so a fresh
+	// sort buffer per call dominated the collector's allocations.
+	scratch []float64
 }
 
 type sample struct {
@@ -69,10 +73,11 @@ func (w *Window) Percentile(p float64) (float64, bool) {
 	if p <= 0 || p > 100 {
 		panic(fmt.Sprintf("metrics: percentile %v out of (0,100]", p))
 	}
-	vals := make([]float64, len(w.samples))
-	for i, s := range w.samples {
-		vals[i] = s.v
+	vals := w.scratch[:0]
+	for _, s := range w.samples {
+		vals = append(vals, s.v)
 	}
+	w.scratch = vals
 	sort.Float64s(vals)
 	rank := int(math.Ceil(p / 100 * float64(len(vals))))
 	if rank < 1 {
@@ -199,15 +204,17 @@ func NewTable(title string, columns ...string) *Table {
 	return &Table{Title: title, Columns: columns}
 }
 
-// AddRow appends a row; cells beyond the column count are dropped,
-// missing cells are blank.
+// AddRow appends a row; missing cells are blank. Passing more cells
+// than the table has columns is a programming error and panics — the
+// figures silently losing columns is exactly the bug this guards
+// against (AddRowF forwards every argument here).
 func (t *Table) AddRow(cells ...string) {
-	row := make([]string, len(t.Columns))
-	for i := range row {
-		if i < len(cells) {
-			row[i] = cells[i]
-		}
+	if len(cells) > len(t.Columns) {
+		panic(fmt.Sprintf("metrics: table %q has %d columns but row has %d cells",
+			t.Title, len(t.Columns), len(cells)))
 	}
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
 	t.Rows = append(t.Rows, row)
 }
 

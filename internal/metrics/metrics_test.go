@@ -158,9 +158,27 @@ func TestTableShortRow(t *testing.T) {
 	if !strings.Contains(out, "only") {
 		t.Fatal("short row dropped")
 	}
-	tb.AddRow("x", "y", "overflow-dropped")
-	if strings.Contains(tb.String(), "overflow") {
-		t.Fatal("overflow cell not dropped")
+}
+
+func TestTableRowOverflowPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"AddRow": func() {
+			tb := NewTable("", "a", "b")
+			tb.AddRow("x", "y", "overflow")
+		},
+		"AddRowF": func() {
+			tb := NewTable("fig", "a", "b")
+			tb.AddRowF("x", 1.0, 2) // third cell must not be silently lost
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: row wider than columns did not panic", name)
+				}
+			}()
+			fn()
+		}()
 	}
 }
 
@@ -206,6 +224,37 @@ func TestQuickPercentileNearestRank(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// BenchmarkWindowPercentile exercises the steady-state query path of the
+// QoS re-assurance loop: a full window queried for p95 every tick. The
+// reusable scratch buffer makes this 0 allocs/op after the first call
+// (previously one fresh []float64 per call).
+func BenchmarkWindowPercentile(b *testing.B) {
+	w := NewWindow(time.Hour)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1024; i++ {
+		w.Observe(time.Duration(i)*time.Millisecond, rng.Float64()*1000)
+	}
+	w.Percentile(95) // grow the scratch buffer once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := w.Percentile(95); !ok {
+			b.Fatal("empty window")
+		}
+	}
+}
+
+func TestWindowPercentileNoSteadyStateAllocs(t *testing.T) {
+	w := NewWindow(time.Hour)
+	for i := 0; i < 512; i++ {
+		w.Observe(time.Duration(i)*time.Millisecond, float64(i%97))
+	}
+	w.Percentile(95) // warm the scratch buffer
+	if avg := testing.AllocsPerRun(100, func() { w.Percentile(95) }); avg != 0 {
+		t.Fatalf("Percentile allocates %v per call in steady state, want 0", avg)
 	}
 }
 

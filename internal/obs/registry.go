@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Labels identifies one time series within a metric family, mirroring
+// the cluster/node/service label set the paper's Prometheus deployment
+// scrapes. Empty fields are omitted from the rendered label string, so
+// Labels is usable as a comparable map key at any granularity.
+type Labels struct {
+	Cluster string
+	Node    string
+	Service string
+}
+
+// String renders the labels Prometheus-style: {cluster="c0",node="3"}.
+// Empty label sets render as "".
+func (l Labels) String() string {
+	if l == (Labels{}) {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	sep := ""
+	add := func(k, v string) {
+		if v == "" {
+			return
+		}
+		b.WriteString(sep)
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(v)
+		b.WriteByte('"')
+		sep = ","
+	}
+	add("cluster", l.Cluster)
+	add("node", l.Node)
+	add("service", l.Service)
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v float64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds d (must be nonnegative).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic("obs: counter decreased")
+	}
+	c.v += d
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v float64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add shifts the value by d.
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// DefLatencyBuckets are the default histogram bounds in milliseconds,
+// bracketing the paper's ~200–400 ms LC QoS targets.
+var DefLatencyBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 200, 300, 400, 600, 1000, 2500}
+
+// Histogram accumulates observations into fixed buckets (upper bounds,
+// ascending) plus an implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1, last is +Inf
+	sum    float64
+	n      uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns sum/count (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation within the containing bucket, the way Prometheus'
+// histogram_quantile does. Returns 0 when empty; observations beyond the
+// last bound clamp to it.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.n)
+	var cum float64
+	for i, c := range h.counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(h.bounds) { // +Inf bucket: clamp to the last bound
+			if len(h.bounds) == 0 {
+				return 0
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		return lo + (h.bounds[i]-lo)*(rank-prev)/float64(c)
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type family struct {
+	name    string
+	kind    metricKind
+	members map[Labels]any
+	order   []Labels // insertion order for deterministic Gather
+}
+
+// Registry holds metric families keyed by name. Like the simulator it is
+// single-threaded by design; handles returned by Counter/Gauge/Histogram
+// are stable and should be cached by hot-path callers so per-event cost
+// is one field update, not a map lookup.
+type Registry struct {
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{families: map[string]*family{}} }
+
+func (r *Registry) family(name string, k metricKind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: k, members: map[Labels]any{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+	}
+	return f
+}
+
+func (f *family) member(l Labels, mk func() any) any {
+	m, ok := f.members[l]
+	if !ok {
+		m = mk()
+		f.members[l] = m
+		f.order = append(f.order, l)
+	}
+	return m
+}
+
+// Counter returns (creating on first use) the counter name{l}.
+func (r *Registry) Counter(name string, l Labels) *Counter {
+	return r.family(name, kindCounter).member(l, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns (creating on first use) the gauge name{l}.
+func (r *Registry) Gauge(name string, l Labels) *Gauge {
+	return r.family(name, kindGauge).member(l, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns (creating on first use) the histogram name{l} with
+// the given bucket bounds (DefLatencyBuckets when nil). Bounds are fixed
+// at creation; later calls may pass nil.
+func (r *Registry) Histogram(name string, l Labels, bounds []float64) *Histogram {
+	return r.family(name, kindHistogram).member(l, func() any {
+		if bounds == nil {
+			bounds = DefLatencyBuckets
+		}
+		return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	}).(*Histogram)
+}
+
+// Sample is one gathered value.
+type Sample struct {
+	Name   string
+	Labels Labels
+	Value  float64
+}
+
+// Key returns the full series name: name + rendered labels.
+func (s Sample) Key() string { return s.Name + s.Labels.String() }
+
+// Gather flattens the registry into samples, families sorted by name and
+// members in creation order. Histograms expand into three samples:
+// <name>_count, <name>_sum and <name>_p95 (the paper's tail statistic).
+func (r *Registry) Gather() []Sample {
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	var out []Sample
+	for _, name := range names {
+		f := r.families[name]
+		for _, l := range f.order {
+			switch m := f.members[l].(type) {
+			case *Counter:
+				out = append(out, Sample{name, l, m.Value()})
+			case *Gauge:
+				out = append(out, Sample{name, l, m.Value()})
+			case *Histogram:
+				out = append(out,
+					Sample{name + "_count", l, float64(m.Count())},
+					Sample{name + "_sum", l, m.Sum()},
+					Sample{name + "_p95", l, m.Quantile(0.95)},
+				)
+			}
+		}
+	}
+	return out
+}

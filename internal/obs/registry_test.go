@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLabelsString(t *testing.T) {
+	if s := (Labels{}).String(); s != "" {
+		t.Fatalf("empty labels rendered %q", s)
+	}
+	l := Labels{Cluster: "c1", Service: "lc-video"}
+	if got := l.String(); got != `{cluster="c1",service="lc-video"}` {
+		t.Fatalf("got %q", got)
+	}
+	if got := (Labels{Node: "3"}).String(); got != `{node="3"}` {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", Labels{Cluster: "c0"})
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %v", c.Value())
+	}
+	if r.Counter("requests_total", Labels{Cluster: "c0"}) != c {
+		t.Fatal("get-or-create returned a new counter")
+	}
+	g := r.Gauge("util", Labels{Node: "1"})
+	g.Set(0.5)
+	g.Add(-0.2)
+	if math.Abs(g.Value()-0.3) > 1e-12 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter add should panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", Labels{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering as gauge should panic")
+		}
+	}()
+	r.Gauge("m", Labels{})
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms", Labels{Service: "lc-audio"}, []float64{10, 20, 40})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i % 40)) // uniform over [0,40)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if m := h.Mean(); math.Abs(m-17.5) > 0.5 {
+		t.Fatalf("mean = %v", m)
+	}
+	q50 := h.Quantile(0.5)
+	if q50 < 10 || q50 > 30 {
+		t.Fatalf("q50 = %v", q50)
+	}
+	// Values beyond the last bound clamp to it.
+	h.Observe(1e9)
+	if q := h.Quantile(1); q != 40 {
+		t.Fatalf("q100 = %v, want clamp to 40", q)
+	}
+	if q := (&Histogram{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v", q)
+	}
+}
+
+func TestGatherDeterministicAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", Labels{Cluster: "c1"}).Inc()
+	r.Counter("b_total", Labels{Cluster: "c0"}).Add(2)
+	r.Gauge("a_util", Labels{Node: "0"}).Set(0.7)
+	r.Histogram("lat", Labels{}, []float64{1, 2}).Observe(1.5)
+
+	got := r.Gather()
+	keys := make([]string, len(got))
+	for i, s := range got {
+		keys[i] = s.Key()
+	}
+	want := []string{
+		`a_util{node="0"}`,
+		`b_total{cluster="c1"}`, // member creation order within a family
+		`b_total{cluster="c0"}`,
+		"lat_count", "lat_sum", "lat_p95",
+	}
+	if strings.Join(keys, "|") != strings.Join(want, "|") {
+		t.Fatalf("gather order:\n got %v\nwant %v", keys, want)
+	}
+	// A second Gather must be identical (determinism).
+	again := r.Gather()
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("gather not deterministic at %d: %v vs %v", i, got[i], again[i])
+		}
+	}
+}
+
+func TestConfigDigestStable(t *testing.T) {
+	a := ConfigDigest(map[string]string{"seed": "1", "system": "tango"})
+	b := ConfigDigest(map[string]string{"system": "tango", "seed": "1"})
+	if a != b {
+		t.Fatalf("digest depends on map order: %s vs %s", a, b)
+	}
+	c := ConfigDigest(map[string]string{"system": "tango", "seed": "2"})
+	if a == c {
+		t.Fatal("digest ignores values")
+	}
+	if len(a) != 16 {
+		t.Fatalf("digest %q not 16 hex chars", a)
+	}
+}
+
+func TestReportWriteRoundTrip(t *testing.T) {
+	rep := &Report{
+		System:       "tango",
+		ConfigDigest: "abc",
+		Config:       map[string]string{"seed": "1"},
+		Phi:          0.97,
+		Series:       map[string][]float64{"qos-rate": {1, 0.9}},
+		EventCounts:  map[string]uint64{"start": 10},
+		TailLatencyMs: map[string]float64{
+			"p95": 210,
+		},
+		Metrics: SamplesToReport([]Sample{{Name: "x", Labels: Labels{Node: "1"}, Value: 3}}),
+	}
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ReportSchema {
+		t.Fatalf("schema not defaulted: %q", back.Schema)
+	}
+	if back.Phi != 0.97 || back.EventCounts["start"] != 10 || back.Metrics[0].Labels != `{node="1"}` {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+// ReportSchema identifies the run-report document version.
+const ReportSchema = "tango.run-report/v1"
+
+// ClassStats summarizes one request class for the report.
+type ClassStats struct {
+	Arrived   int64 `json:"arrived"`
+	Completed int64 `json:"completed"`
+	Satisfied int64 `json:"satisfied"`
+	Abandoned int64 `json:"abandoned"`
+}
+
+// MetricSample is one registry sample in the report.
+type MetricSample struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// Report is the one-JSON-document-per-run summary written by
+// cmd/tango-sim (and, per experiment system, by cmd/tango-bench) behind
+// the -report flag. Phi and the lc-p95-ms series are taken from the same
+// collectors that feed the printed tables, so the two always agree.
+type Report struct {
+	Schema       string            `json:"schema"`
+	System       string            `json:"system"`
+	Tag          string            `json:"tag,omitempty"`
+	ConfigDigest string            `json:"config_digest"`
+	Config       map[string]string `json:"config"`
+
+	VirtualMs float64 `json:"virtual_ms"` // simulated horizon
+	PeriodMs  float64 `json:"period_ms"`  // collection period
+	WallMs    float64 `json:"wall_ms"`    // real time spent simulating
+
+	Phi             float64            `json:"phi"` // QoS satisfaction rate, Eq. 1
+	LC              ClassStats         `json:"lc"`
+	BE              ClassStats         `json:"be"`
+	BEThroughput    int64              `json:"be_throughput"`
+	MeanUtilization float64            `json:"mean_utilization"`
+	MeanLCLatencyMs float64            `json:"mean_lc_latency_ms"`
+	TailLatencyMs   map[string]float64 `json:"tail_latency_ms"` // p50/p90/p95/p99 over completed LC
+
+	Series      map[string][]float64 `json:"series"`       // per-period collector series
+	Metrics     []MetricSample       `json:"metrics"`      // final registry scrape
+	EventCounts map[string]uint64    `json:"event_counts"` // tracer per-kind totals
+}
+
+// ConfigDigest hashes a flat config map into a stable hex digest
+// (FNV-1a over sorted key=value lines), so two runs are comparable by
+// digest equality regardless of map iteration order.
+func ConfigDigest(cfg map[string]string) string {
+	keys := make([]string, 0, len(cfg))
+	for k := range cfg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%s\n", k, cfg[k])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Write serializes the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	if r.Schema == "" {
+		r.Schema = ReportSchema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// SamplesToReport converts a registry scrape for embedding in a report.
+func SamplesToReport(samples []Sample) []MetricSample {
+	out := make([]MetricSample, len(samples))
+	for i, s := range samples {
+		out[i] = MetricSample{Name: s.Name, Labels: s.Labels.String(), Value: s.Value}
+	}
+	return out
+}

@@ -303,6 +303,87 @@ func TestQuickCancelSubset(t *testing.T) {
 	}
 }
 
+func TestCancelAfterFired(t *testing.T) {
+	s := New()
+	e := s.Schedule(time.Millisecond, func() {})
+	s.Run()
+	if e.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	if e.Cancel() {
+		t.Fatal("Cancel on an already-fired one-shot returned true")
+	}
+	if e.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+}
+
+func TestCancelOneShotFromOwnCallback(t *testing.T) {
+	s := New()
+	var e *Event
+	var got bool
+	e = s.Schedule(time.Millisecond, func() { got = e.Cancel() })
+	s.Run()
+	if got {
+		t.Fatal("one-shot cancelling itself mid-fire returned true")
+	}
+	if e.Cancel() {
+		t.Fatal("Cancel after the callback returned true")
+	}
+}
+
+func TestEveryCancelFromOwnCallback(t *testing.T) {
+	s := New()
+	var e *Event
+	runs := 0
+	e = s.Every(10*time.Millisecond, func() {
+		runs++
+		if runs == 3 {
+			if !e.Cancel() {
+				t.Error("periodic self-cancel returned false")
+			}
+		}
+	})
+	s.RunUntil(time.Second)
+	if runs != 3 {
+		t.Fatalf("periodic event ran %d times after self-cancel at 3", runs)
+	}
+	if e.Pending() {
+		t.Fatal("cancelled periodic event still pending")
+	}
+	if e.Cancel() {
+		t.Fatal("Cancel after self-cancel returned true")
+	}
+}
+
+func TestEveryHandlerCallsStop(t *testing.T) {
+	s := New()
+	runs := 0
+	s.Every(10*time.Millisecond, func() {
+		runs++
+		if runs == 2 {
+			s.Stop()
+		}
+	})
+	other := 0
+	s.Schedule(time.Hour, func() { other++ })
+	s.Run()
+	if runs != 2 {
+		t.Fatalf("ticker ran %d times, want 2 (Stop at the second tick)", runs)
+	}
+	if s.Now() != 20*time.Millisecond {
+		t.Fatalf("clock = %v, want 20ms (stopped mid-queue)", s.Now())
+	}
+	if other != 0 {
+		t.Fatal("event after Stop fired")
+	}
+	// The ticker re-armed itself before Stop took effect; resuming the
+	// run picks it back up.
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2 (re-armed ticker + far event)", s.Pending())
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := New()

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Repository health check: formatting, vet, build, race-enabled tests.
+# Same steps as `make check`, for environments without make.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"
+    echo "$unformatted"
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race -timeout 120m ./...
+
+echo "OK"
