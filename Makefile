@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench check fmt vet clean
+.PHONY: all build test race bench check fmt vet clean trace-smoke
 
 all: check
 
@@ -23,6 +23,11 @@ bench-trace:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
+# Run a short traced simulation and check tango-trace parses, analyzes
+# and Chrome-exports the stream.
+trace-smoke:
+	sh scripts/trace_smoke.sh
+
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -34,4 +39,4 @@ check: fmt vet build race
 
 clean:
 	$(GO) clean ./...
-	rm -f tango-sim tango-bench
+	rm -f tango-sim tango-bench tango-trace

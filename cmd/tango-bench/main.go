@@ -155,11 +155,14 @@ func main() {
 		os.Exit(2)
 	}
 	if wsink != nil {
-		if err := wsink.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		flushErr := wsink.Flush()
+		fmt.Printf("trace: %d lines -> %s\n", wsink.Lines, *traceOut)
+		if wsink.Dropped > 0 || wsink.Err() != nil {
+			fmt.Fprintf(os.Stderr, "trace: %d lines dropped (%v)\n", wsink.Dropped, wsink.Err())
+		}
+		if flushErr != nil {
 			os.Exit(1)
 		}
-		fmt.Printf("trace: %d lines -> %s\n", wsink.Lines, *traceOut)
 	}
 	if *report != "" {
 		f, err := os.Create(*report)

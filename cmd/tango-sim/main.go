@@ -144,11 +144,16 @@ func main() {
 	elapsed := time.Since(start)
 
 	if wsink != nil {
-		if err := wsink.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		flushErr := wsink.Flush()
+		fmt.Printf("trace: %d events, %d spans, %d decisions (%d lines) -> %s\n",
+			sys.Tracer.Emitted(), sys.Tracer.SpanCount(), sys.Tracer.DecisionCount(),
+			wsink.Lines, *traceOut)
+		if wsink.Dropped > 0 || wsink.Err() != nil {
+			fmt.Fprintf(os.Stderr, "trace: %d lines dropped (%v)\n", wsink.Dropped, wsink.Err())
+		}
+		if flushErr != nil {
 			os.Exit(1)
 		}
-		fmt.Printf("trace: %d events (%d lines) -> %s\n", sys.Tracer.Emitted(), wsink.Lines, *traceOut)
 	}
 	if *report != "" {
 		rep := sys.Report(*system, elapsed)

@@ -1,0 +1,257 @@
+// tango-trace analyzes the NDJSON trace stream written by tango-sim
+// and tango-bench (-trace): per-request span breakdowns, scheduling
+// decisions active during QoS-violation episodes, and Chrome
+// trace_event export for Perfetto.
+//
+// Usage:
+//
+//	tango-trace top [-k 10] [trace.ndjson]
+//	tango-trace violations [-gap 1s] [-lookback 1s] [trace.ndjson]
+//	tango-trace chrome [trace.ndjson] > trace.json
+//	tango-trace summary [trace.ndjson]
+//
+// The trace is read from the file argument, or stdin when omitted, so
+// it composes as: tango-sim -trace /dev/stdout ... | tango-trace top
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/tanalysis"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "top":
+		err = cmdTop(args)
+	case "violations":
+		err = cmdViolations(args)
+	case "chrome":
+		err = cmdChrome(args)
+	case "summary":
+		err = cmdSummary(args)
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "tango-trace: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tango-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `tango-trace — analyze Tango NDJSON traces
+
+commands:
+  top        top-k slowest requests with per-span latency breakdown
+  violations per-service QoS-violation episodes and the decisions active during them
+  chrome     export to Chrome trace_event JSON (Perfetto / about://tracing)
+  summary    line and span/event/decision counts
+
+The trace file is the last argument; stdin is read when omitted.
+`)
+}
+
+// load opens the trailing file argument (or stdin), parses it, and
+// applies the -tag filter. Span/decision IDs restart per run, so when a
+// multi-run trace (tango-bench writes every run to one file) is analyzed
+// unfiltered, a hint listing the tags is printed.
+func load(fs *flag.FlagSet, tag string) (*tanalysis.Trace, error) {
+	var r io.Reader = os.Stdin
+	if fs.NArg() > 1 {
+		return nil, fmt.Errorf("at most one trace file argument, got %d", fs.NArg())
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	t, err := tanalysis.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	if tag != "" {
+		t = t.FilterTag(tag)
+		if len(t.Spans)+len(t.Events)+len(t.Decisions) == 0 {
+			return nil, fmt.Errorf("no lines tagged %q in the trace", tag)
+		}
+	} else if tags := t.Tags(); len(tags) > 1 {
+		fmt.Fprintf(os.Stderr, "tango-trace: trace holds %d runs %v; pass -tag to analyze one\n", len(tags), tags)
+	}
+	return t, nil
+}
+
+// tagFlag registers the -tag filter common to every subcommand.
+func tagFlag(fs *flag.FlagSet) *string {
+	return fs.String("tag", "", "analyze only lines from the run with this tag")
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	k := fs.Int("k", 10, "number of slowest requests to show")
+	class := fs.String("class", "", "filter by request class (LC, BE)")
+	tag := tagFlag(fs)
+	fs.Parse(args)
+	t, err := load(fs, *tag)
+	if err != nil {
+		return err
+	}
+	rts := t.TopK(0)
+	if *class != "" {
+		kept := rts[:0]
+		for _, rt := range rts {
+			if rt.Root.Class == *class {
+				kept = append(kept, rt)
+			}
+		}
+		rts = kept
+	}
+	if *k > 0 && *k < len(rts) {
+		rts = rts[:*k]
+	}
+	tb := metrics.NewTable(fmt.Sprintf("top %d slowest requests", len(rts)),
+		"req", "class", "svc", "node", "e2e-ms", "decision", "fate", "breakdown")
+	for i := range rts {
+		rt := &rts[i]
+		fate := rt.Root.Detail
+		if fate == "" {
+			fate = "ok"
+		}
+		dec := "-"
+		if rt.Root.Decision >= 0 {
+			dec = fmt.Sprintf("%d", rt.Root.Decision)
+		}
+		tb.AddRowF(rt.Root.Req, rt.Root.Class, rt.Root.Service, rt.Root.Node,
+			ms(rt.Root.Duration()), dec, fate, rt.BreakdownLine())
+	}
+	fmt.Print(tb.String())
+	return nil
+}
+
+func cmdViolations(args []string) error {
+	fs := flag.NewFlagSet("violations", flag.ExitOnError)
+	gap := fs.Duration("gap", time.Second, "max gap between violations within one episode")
+	lookback := fs.Duration("lookback", time.Second, "attribute decisions up to this long before an episode")
+	showCands := fs.Bool("cands", false, "expand each decision's candidate table")
+	tag := tagFlag(fs)
+	fs.Parse(args)
+	t, err := load(fs, *tag)
+	if err != nil {
+		return err
+	}
+	eps := t.Episodes(obs.SLOConfig{Gap: *gap, Lookback: *lookback})
+	if len(eps) == 0 {
+		fmt.Println("no violation episodes")
+		return nil
+	}
+	for _, se := range eps {
+		fmt.Printf("service %d (%s): %d episode(s)\n", se.Service, se.Class, len(se.Episodes))
+		for i, ep := range se.Episodes {
+			fmt.Printf("  episode %d: %.1f–%.1f ms, %d violation(s), %d decision(s) active\n",
+				i+1, ms(ep.Start), ms(ep.End), ep.Violations, ep.DecisionTotal)
+			if len(ep.Decisions) > 0 {
+				fmt.Printf("    decisions: %v\n", ep.Decisions)
+			}
+			if *showCands {
+				for _, id := range ep.Decisions {
+					d := t.DecisionByID(id)
+					if d == nil {
+						continue
+					}
+					fmt.Printf("    #%d %s/%s cluster=%d svc=%d batch=%d routed=%d\n",
+						d.ID, d.Algo, d.Phase, d.Cluster, d.Service, d.Batch, d.Routed)
+					for _, c := range d.Cands {
+						fmt.Printf("      node=%d cap=%d cost_us=%d link=%d flow=%d %s\n",
+							c.Node, c.Capacity, c.CostUS, c.LinkCap, c.Flow, c.Reject)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func cmdChrome(args []string) error {
+	fs := flag.NewFlagSet("chrome", flag.ExitOnError)
+	tag := tagFlag(fs)
+	fs.Parse(args)
+	t, err := load(fs, *tag)
+	if err != nil {
+		return err
+	}
+	return t.WriteChrome(os.Stdout)
+}
+
+func cmdSummary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	tag := tagFlag(fs)
+	fs.Parse(args)
+	t, err := load(fs, *tag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("events: %d  spans: %d  decisions: %d  skipped lines: %d\n",
+		len(t.Events), len(t.Spans), len(t.Decisions), t.Skipped)
+	byName := map[string]struct {
+		n   int
+		tot time.Duration
+	}{}
+	for i := range t.Spans {
+		s := &t.Spans[i]
+		agg := byName[s.Name]
+		agg.n++
+		agg.tot += s.Duration()
+		byName[s.Name] = agg
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	tb := metrics.NewTable("span durations", "name", "count", "total-ms", "mean-ms")
+	for _, n := range names {
+		agg := byName[n]
+		tb.AddRowF(n, agg.n, ms(agg.tot), ms(agg.tot)/float64(agg.n))
+	}
+	fmt.Print(tb.String())
+	rts := t.Requests()
+	var tiled, exact int
+	for i := range rts {
+		rt := &rts[i]
+		if rt.Root.Detail != "" || len(rt.Children) == 0 {
+			continue
+		}
+		tiled++
+		if rt.ChildSum() == rt.Root.Duration() {
+			exact++
+		}
+	}
+	if tiled > 0 {
+		fmt.Printf("tiling: %d/%d completed requests have child spans summing exactly to e2e latency\n",
+			exact, tiled)
+	}
+	return nil
+}

@@ -21,7 +21,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"time"
 
@@ -124,6 +123,9 @@ type System struct {
 	Metrics *Collector
 	// Tracer is non-nil when Options.TraceSink was set.
 	Tracer *obs.Tracer
+	// SLO tracks per-service satisfaction, tail latency and violation
+	// episodes (always on; decision attribution needs the Tracer).
+	SLO *obs.SLOAccountant
 
 	periodics []*sim.Event
 }
@@ -161,6 +163,7 @@ func New(o Options) *System {
 		central:  o.Topo.CentralCluster().ID,
 	}
 	s.Metrics = NewCollector(o.Period)
+	s.SLO = obs.NewSLOAccountant(obs.SLOConfig{})
 	if o.TraceSink != nil {
 		s.Tracer = obs.NewTracer(s.Sim.Now, o.TraceSink)
 		s.Tracer.SetTag(o.TraceTag)
@@ -183,6 +186,7 @@ func New(o Options) *System {
 	s.beSched = o.MakeBE(s.Engine, o.Seed+1)
 	if lc, ok := s.lcSched.(*dsslc.Scheduler); ok {
 		lc.Tracer = s.Tracer
+		lc.OnDecision = func(d obs.Decision) { s.SLO.NoteDecision(d.ID, d.At) }
 	}
 
 	if o.Reassure {
@@ -250,6 +254,11 @@ func schedName(v any) string {
 
 func (s *System) onOutcome(o engine.Outcome) {
 	s.Metrics.observe(o)
+	if o.Req.Class == trace.LC {
+		s.SLO.Observe(int(o.Req.Type), o.Req.SType.Name, o.Req.Class.String(),
+			o.FinishedAt, float64(o.Latency)/float64(time.Millisecond),
+			o.Completed, o.Satisfied)
+	}
 	for _, obs := range s.observers {
 		obs(o)
 	}
@@ -339,6 +348,9 @@ func (s *System) dispatch() {
 			cands := sched.CandidatesLC(s.Engine, c.ID, s.opts.GeoRadiusKm)
 			for _, r := range q {
 				if nid, ok := lc.Pick(r, cands); ok {
+					if id := sched.Audit(s.Tracer, lc, r, cands, nid, ok); id >= 0 {
+						s.SLO.NoteDecision(id, s.Sim.Now())
+					}
 					s.Engine.Dispatch(r, nid)
 				} else {
 					s.requeueLC(c.ID, r)
@@ -641,34 +653,22 @@ func (c *Collector) TailPercentiles() map[string]float64 {
 	cp := make([]float64, len(c.allLatencies))
 	copy(cp, c.allLatencies)
 	sort.Float64s(cp)
-	rank := func(p float64) float64 {
-		idx := int(math.Ceil(p / 100 * float64(len(cp))))
-		if idx < 1 {
-			idx = 1
-		}
-		return cp[idx-1]
-	}
-	out["p50"], out["p90"], out["p95"], out["p99"] = rank(50), rank(90), rank(95), rank(99)
+	out["p50"] = metrics.SortedPercentile(cp, 50)
+	out["p90"] = metrics.SortedPercentile(cp, 90)
+	out["p95"] = metrics.SortedPercentile(cp, 95)
+	out["p99"] = metrics.SortedPercentile(cp, 99)
 	return out
 }
 
+// percentile95 leaves v untouched (per-period buffers are reused by the
+// caller between ticks).
 func percentile95(v []float64) float64 {
 	if len(v) == 0 {
 		return 0
 	}
 	cp := make([]float64, len(v))
 	copy(cp, v)
-	// insertion sort is fine for per-period sizes
-	for i := 1; i < len(cp); i++ {
-		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
-			cp[j], cp[j-1] = cp[j-1], cp[j]
-		}
-	}
-	idx := (95*len(cp) + 99) / 100
-	if idx < 1 {
-		idx = 1
-	}
-	return cp[idx-1]
+	return metrics.PercentileInPlace(cp, 95)
 }
 
 // Utilization returns the current dominant-share utilization over all
@@ -795,5 +795,37 @@ func (s *System) Report(name string, wall time.Duration) *obs.Report {
 		Series:          series,
 		Metrics:         obs.SamplesToReport(m.Registry().Gather()),
 		EventCounts:     s.Tracer.Counts(),
+		SLO:             s.SLOSnapshot(),
+		Sink:            s.sinkStats(),
 	}
+}
+
+// SLOSnapshot closes open violation episodes and renders the
+// per-service SLO accounting.
+func (s *System) SLOSnapshot() []obs.SLOReport {
+	s.SLO.Finalize()
+	return s.SLO.Snapshot()
+}
+
+// sinkStats summarizes trace-sink health for the report (nil when
+// tracing was off).
+func (s *System) sinkStats() *obs.SinkStats {
+	if s.Tracer == nil {
+		return nil
+	}
+	st := &obs.SinkStats{
+		Events:    s.Tracer.Emitted(),
+		Spans:     s.Tracer.SpanCount(),
+		Decisions: s.Tracer.DecisionCount(),
+	}
+	switch sink := s.opts.TraceSink.(type) {
+	case *obs.WriterSink:
+		st.Lines, st.Dropped = sink.Lines, sink.Dropped
+		if err := sink.Err(); err != nil {
+			st.Error = err.Error()
+		}
+	case *obs.RingSink:
+		st.Lines = sink.Total() + sink.SpanTotal()
+	}
+	return st
 }

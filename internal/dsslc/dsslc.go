@@ -50,8 +50,12 @@ type Scheduler struct {
 	Decisions int64
 
 	// Tracer, when set, receives one flow-solve event per batch
-	// (Aux = batch size, Value = routed count).
-	Tracer *obs.Tracer
+	// (Aux = batch size, Value = routed count) and one Decision audit
+	// record per min-cost-flow solve, with the per-candidate Eq. 2–4
+	// terms. OnDecision additionally receives each stamped audit record
+	// (the SLO accountant subscribes here).
+	Tracer     *obs.Tracer
+	OnDecision func(obs.Decision)
 }
 
 // New creates a DSS-LC scheduler with the paper's 500 km geo radius.
@@ -122,7 +126,7 @@ func (s *Scheduler) ScheduleBatch(c topo.ClusterID, reqs []*engine.Request) Assi
 		}
 		if capTotal >= int64(len(rs)) {
 			// Case 1: capacity covers demand; route on Ĝ_k.
-			book(s.route(c, rs, workers, caps, out))
+			book(s.route(c, t, obs.PhaseImmediate, rs, workers, caps, out))
 			continue
 		}
 		// Case 2: split by the random sorting function ρ(·) — all LC
@@ -131,7 +135,7 @@ func (s *Scheduler) ScheduleBatch(c topo.ClusterID, reqs []*engine.Request) Assi
 		immediate := rs[:capTotal]
 		overflow := rs[capTotal:]
 		if len(immediate) > 0 {
-			book(s.route(c, immediate, workers, caps, out))
+			book(s.route(c, t, obs.PhaseImmediate, immediate, workers, caps, out))
 		}
 		// Ĝ'_k: total-resource capacities scaled by λ (Eq. 7–8).
 		totals := make([]int64, len(workers))
@@ -142,7 +146,7 @@ func (s *Scheduler) ScheduleBatch(c topo.ClusterID, reqs []*engine.Request) Assi
 		}
 		need := int64(len(overflow))
 		scaled := scaleToSum(totals, totSum, need)
-		book(s.route(c, overflow, workers, scaled, out))
+		book(s.route(c, t, obs.PhaseOverflow, overflow, workers, scaled, out))
 	}
 	return out
 }
@@ -151,7 +155,7 @@ func (s *Scheduler) ScheduleBatch(c topo.ClusterID, reqs []*engine.Request) Assi
 // workers (capacity caps, cost = transmission delay) → sink, then
 // assigns requests to workers according to the edge flows. It returns
 // the per-worker assignment counts so the caller can book reservations.
-func (s *Scheduler) route(c topo.ClusterID, rs []*engine.Request, workers []*engine.Node, caps []int64, out Assignment) map[int]int64 {
+func (s *Scheduler) route(c topo.ClusterID, svc trace.TypeID, phase string, rs []*engine.Request, workers []*engine.Node, caps []int64, out Assignment) map[int]int64 {
 	t := s.Engine.Topology()
 	masterID := t.Cluster(c).Master
 	g := flow.NewGraph()
@@ -160,6 +164,8 @@ func (s *Scheduler) route(c topo.ClusterID, rs []*engine.Request, workers []*eng
 	sink := g.AddNode()
 	g.AddEdge(src, master, int64(len(rs)), 0)
 	edges := make([]flow.EdgeID, len(workers))
+	costs := make([]int64, len(workers))
+	links := make([]int64, len(workers))
 	for i, w := range workers {
 		wn := g.AddNode()
 		// Transmission delay in microseconds as the cost (Eq. 3).
@@ -170,6 +176,7 @@ func (s *Scheduler) route(c topo.ClusterID, rs []*engine.Request, workers []*eng
 		if linkCap < 1 {
 			linkCap = 1
 		}
+		costs[i], links[i] = delayUS, linkCap
 		cap := caps[i]
 		if cap > linkCap {
 			cap = linkCap
@@ -191,8 +198,41 @@ func (s *Scheduler) route(c topo.ClusterID, rs []*engine.Request, workers []*eng
 			ri++
 		}
 	}
+	routed := ri
 	for ; ri < len(rs); ri++ {
 		out[rs[ri].ID] = s.leastLoadedLocal(c)
+	}
+	if tr := s.Tracer; tr.Enabled() {
+		d := obs.Decision{
+			Algo: s.Name(), Phase: phase,
+			Cluster: int(c), Svc: int(svc),
+			Batch: len(rs), Routed: routed,
+			GraphNodes: 3 + len(workers), GraphEdges: 1 + 2*len(workers),
+			Candidates: make([]obs.Candidate, len(workers)),
+		}
+		for i, w := range workers {
+			cand := obs.Candidate{Node: int(w.ID), Capacity: caps[i],
+				CostUS: costs[i], LinkCap: links[i], Flow: counts[i]}
+			switch {
+			case counts[i] > 0:
+			case caps[i] == 0:
+				cand.Reject = obs.RejectNoCapacity
+			case links[i] < caps[i]:
+				cand.Reject = obs.RejectLinkLimited
+			default:
+				cand.Reject = obs.RejectNotChosen
+			}
+			d.Candidates[i] = cand
+		}
+		tr.EmitDecision(&d)
+		// Every request of this solve — flow-routed or fallback — is
+		// attributable to it.
+		for _, r := range rs {
+			r.DecisionID = d.ID
+		}
+		if s.OnDecision != nil {
+			s.OnDecision(d)
+		}
 	}
 	return counts
 }

@@ -35,8 +35,19 @@ type Request struct {
 	// Restarts counts BE evict-and-restart cycles (§4.1).
 	Restarts int
 
+	// SpanID is the root "request" span, lazily reserved at first
+	// dispatch when tracing is on (0 = no span). DecisionID links the
+	// scheduling decision that routed the request (-1 = none, e.g.
+	// baselines without audit or direct engine drives).
+	SpanID     uint64
+	DecisionID int64
+
 	enqueuedAt time.Duration
 	abandonEv  *sim.Event
+	// mark is the start of the current lifecycle stage; each child span
+	// covers [mark, now] and advances mark, so the children exactly tile
+	// [Arrival, completion].
+	mark time.Duration
 }
 
 // Outcome reports the fate of a request.
@@ -186,13 +197,15 @@ func (e *Engine) Policy() Policy { return e.cfg.Policy }
 // NewRequest materializes a trace request into a live engine request.
 func (e *Engine) NewRequest(tr trace.Request) *Request {
 	return &Request{
-		ID:      tr.ID,
-		Type:    tr.Type,
-		Class:   tr.Class,
-		SType:   e.cfg.Catalog.Type(tr.Type),
-		Arrival: tr.Arrival,
-		Cluster: tr.Cluster,
-		Target:  -1,
+		ID:         tr.ID,
+		Type:       tr.Type,
+		Class:      tr.Class,
+		SType:      e.cfg.Catalog.Type(tr.Type),
+		Arrival:    tr.Arrival,
+		Cluster:    tr.Cluster,
+		Target:     -1,
+		DecisionID: -1,
+		mark:       tr.Arrival,
 	}
 }
 
@@ -220,9 +233,23 @@ func (e *Engine) Dispatch(r *Request, target topo.NodeID) {
 	if tr := e.trc; tr.Enabled() {
 		tr.Emit(obs.Ev(obs.EvDispatch).Req(r.ID).Clu(int(r.Cluster)).Node(int(target)).
 			Service(int(r.Type)).Cls(r.Class.String()).Val(float64(delay) / float64(time.Millisecond)))
+		now := e.cfg.Sim.Now()
+		if r.SpanID == 0 {
+			r.SpanID = tr.NewSpanID()
+		}
+		tr.EmitSpan(obs.Sp(obs.SpanSched, r.mark, now).Child(r.SpanID).Req(r.ID).
+			Clu(int(r.Cluster)).Node(int(target)).Service(int(r.Type)).
+			Cls(r.Class.String()).Dec(r.DecisionID))
+		r.mark = now
 	}
 	e.cfg.Sim.Schedule(delay, func() {
 		n.inTransit = n.inTransit.Sub(d)
+		if tr := e.trc; tr.Enabled() && r.SpanID != 0 {
+			now := e.cfg.Sim.Now()
+			tr.EmitSpan(obs.Sp(obs.SpanTransit, r.mark, now).Child(r.SpanID).Req(r.ID).
+				Clu(int(r.Cluster)).Node(int(target)).Service(int(r.Type)).Cls(r.Class.String()))
+			r.mark = now
+		}
 		n.arrive(r)
 	})
 }
@@ -232,6 +259,16 @@ func (e *Engine) Dispatch(r *Request, target topo.NodeID) {
 func (e *Engine) DispatchLocal(r *Request, target topo.NodeID) {
 	n := e.Node(target)
 	r.Target = target
+	if tr := e.trc; tr.Enabled() {
+		now := e.cfg.Sim.Now()
+		if r.SpanID == 0 {
+			r.SpanID = tr.NewSpanID()
+		}
+		tr.EmitSpan(obs.Sp(obs.SpanSched, r.mark, now).Child(r.SpanID).Req(r.ID).
+			Clu(int(r.Cluster)).Node(int(target)).Service(int(r.Type)).
+			Cls(r.Class.String()).Dec(r.DecisionID))
+		r.mark = now
+	}
 	n.arrive(r)
 }
 
@@ -282,9 +319,18 @@ func (n *Node) abandon(r *Request) {
 	}
 	n.eng.Abandoned++
 	if tr := n.eng.trc; tr.Enabled() {
-		age := n.eng.cfg.Sim.Now() - r.Arrival
+		now := n.eng.cfg.Sim.Now()
+		age := now - r.Arrival
 		tr.Emit(obs.Ev(obs.EvAbandon).Req(r.ID).Node(int(n.ID)).Service(int(r.Type)).
 			Cls(r.Class.String()).Val(float64(age) / float64(time.Millisecond)))
+		if r.SpanID != 0 {
+			tr.EmitSpan(obs.Sp(obs.SpanQueue, r.mark, now).Child(r.SpanID).Req(r.ID).
+				Clu(int(n.Cluster)).Node(int(n.ID)).Service(int(r.Type)).Cls(r.Class.String()))
+			tr.EmitSpan(obs.Sp(obs.SpanRequest, r.Arrival, now).WithID(r.SpanID).Req(r.ID).
+				Clu(int(r.Cluster)).Node(int(n.ID)).Service(int(r.Type)).Cls(r.Class.String()).
+				Dec(r.DecisionID).Note("abandoned"))
+			r.mark = now
+		}
 	}
 	n.eng.emit(Outcome{
 		Req: r, Completed: false, Satisfied: false,
@@ -324,6 +370,11 @@ func (n *Node) start(r *Request, alloc res.Vector) {
 		tr.Emit(obs.Ev(obs.EvStart).Req(r.ID).Node(int(n.ID)).Service(int(r.Type)).
 			Cls(r.Class.String()).Val(float64(alloc.MilliCPU)).
 			Au(int64((now - r.enqueuedAt) / time.Microsecond)))
+		if r.SpanID != 0 {
+			tr.EmitSpan(obs.Sp(obs.SpanQueue, r.mark, now).Child(r.SpanID).Req(r.ID).
+				Clu(int(n.Cluster)).Node(int(n.ID)).Service(int(r.Type)).Cls(r.Class.String()))
+			r.mark = now
+		}
 	}
 	n.scheduleDone(ru, n.eng.cfg.ScaleLatency)
 }
@@ -375,6 +426,20 @@ func (n *Node) finish(ru *running) {
 		}
 		tr.Emit(obs.Ev(obs.EvFinish).Req(r.ID).Node(int(n.ID)).Service(int(r.Type)).
 			Cls(r.Class.String()).Val(float64(latency) / float64(time.Millisecond)).Au(sat))
+		if r.SpanID != 0 {
+			tr.EmitSpan(obs.Sp(obs.SpanExec, r.mark, now).Child(r.SpanID).Req(r.ID).
+				Clu(int(n.Cluster)).Node(int(n.ID)).Service(int(r.Type)).Cls(r.Class.String()))
+			tr.EmitSpan(obs.Sp(obs.SpanReturn, now, now+ret).Child(r.SpanID).Req(r.ID).
+				Clu(int(n.Cluster)).Node(int(n.ID)).Service(int(r.Type)).Cls(r.Class.String()))
+			detail := ""
+			if !satisfied {
+				detail = "violated"
+			}
+			tr.EmitSpan(obs.Sp(obs.SpanRequest, r.Arrival, now+ret).WithID(r.SpanID).Req(r.ID).
+				Clu(int(r.Cluster)).Node(int(n.ID)).Service(int(r.Type)).Cls(r.Class.String()).
+				Dec(r.DecisionID).Note(detail))
+			r.mark = now
+		}
 	}
 	n.eng.emit(Outcome{Req: r, Completed: true, Satisfied: satisfied, Latency: latency, FinishedAt: now})
 	n.drain()
@@ -576,9 +641,22 @@ func (n *Node) EvictBE(needMemMiB int64) int64 {
 		if tr := n.eng.trc; tr.Enabled() {
 			tr.Emit(obs.Ev(obs.EvEvict).Req(ru.req.ID).Node(int(n.ID)).
 				Service(int(ru.req.Type)).Val(float64(ru.alloc.MemoryMiB)).Au(int64(ru.req.Restarts)))
+			n.emitEvictedSpan(ru.req)
 		}
 	}
 	return reclaimed
+}
+
+// emitEvictedSpan closes the evicted request's current stage as an
+// "evicted" child span, so restart cycles stay visible in the tiling.
+func (n *Node) emitEvictedSpan(r *Request) {
+	if r.SpanID == 0 {
+		return
+	}
+	now := n.eng.cfg.Sim.Now()
+	n.eng.trc.EmitSpan(obs.Sp(obs.SpanEvicted, r.mark, now).Child(r.SpanID).Req(r.ID).
+		Clu(int(n.Cluster)).Node(int(n.ID)).Service(int(r.Type)).Cls(r.Class.String()))
+	r.mark = now
 }
 
 // EvictBEUntil evicts running BE requests (newest first, restarting them
@@ -600,6 +678,7 @@ func (n *Node) EvictBEUntil(need res.Vector) bool {
 		if tr := n.eng.trc; tr.Enabled() {
 			tr.Emit(obs.Ev(obs.EvEvict).Req(ru.req.ID).Node(int(n.ID)).
 				Service(int(ru.req.Type)).Val(float64(ru.alloc.MemoryMiB)).Au(int64(ru.req.Restarts)))
+			n.emitEvictedSpan(ru.req)
 		}
 	}
 	return n.Free().Fits(need)
@@ -699,6 +778,17 @@ func (n *Node) Fail() {
 	}
 	if tr := n.eng.trc; tr.Enabled() {
 		tr.Emit(obs.Ev(obs.EvNodeFail).Node(int(n.ID)).Clu(int(n.Cluster)).Au(int64(len(displaced))))
+		// The displaced slice is sorted by request ID, so span emission
+		// order stays deterministic despite the map walk above.
+		now := n.eng.cfg.Sim.Now()
+		for _, r := range displaced {
+			if r.SpanID == 0 {
+				continue
+			}
+			tr.EmitSpan(obs.Sp(obs.SpanInterrupted, r.mark, now).Child(r.SpanID).Req(r.ID).
+				Clu(int(n.Cluster)).Node(int(n.ID)).Service(int(r.Type)).Cls(r.Class.String()))
+			r.mark = now
+		}
 	}
 	n.eng.displace(displaced)
 }
@@ -725,6 +815,11 @@ func (e *Engine) displace(reqs []*Request) {
 	for _, r := range reqs {
 		if r.Class == trace.LC {
 			e.Abandoned++
+		}
+		if tr := e.trc; tr.Enabled() && r.SpanID != 0 {
+			tr.EmitSpan(obs.Sp(obs.SpanRequest, r.Arrival, now).WithID(r.SpanID).Req(r.ID).
+				Clu(int(r.Cluster)).Service(int(r.Type)).Cls(r.Class.String()).
+				Dec(r.DecisionID).Note("displaced"))
 		}
 		e.emit(Outcome{Req: r, Completed: false, Satisfied: false,
 			Latency: now - r.Arrival, FinishedAt: now})

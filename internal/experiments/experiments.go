@@ -303,8 +303,9 @@ func DVPAMicro(cfg Config) *Result {
 	s := sim.New()
 	store := k8s.NewStore(s)
 	kl := k8s.NewKubelet(s, store, 1, res.V(8000, 16384, 0))
+	var tr *obs.Tracer
 	if cfg.TraceSink != nil {
-		tr := obs.NewTracer(s.Now, cfg.TraceSink)
+		tr = obs.NewTracer(s.Now, cfg.TraceSink)
 		tr.SetTag(cfg.TraceTag)
 		store.SetTracer(tr)
 		kl.Node().CGroups.SetTracer(tr)
@@ -335,6 +336,7 @@ func DVPAMicro(cfg Config) *Result {
 	}
 
 	d := hrm.NewDVPA()
+	d.Tracer, d.Now = tr, s.Now
 	np, _ := store.GetPod("svc")
 	lat, err := d.Resize(kl.Node().CGroups, np.PodGroup, np.ContainerGroup, res.V(1500, 1500, 0))
 	if err != nil {

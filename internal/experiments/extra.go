@@ -40,7 +40,10 @@ func Failover(cfg Config) *Result {
 
 	tangoSys, tango := runWith(core.Tango(tp, cfg.Seed))
 	// A Tango system without failures, for the degradation baseline.
-	clean := core.New(cfg.apply(core.Tango(tp, cfg.Seed)))
+	// Its own trace tag keeps the two runs' span IDs apart in the file.
+	cleanOpts := core.Tango(tp, cfg.Seed)
+	cleanOpts.TraceTag = cfg.TraceTag + "/clean"
+	clean := core.New(cfg.apply(cleanOpts))
 	clean.Inject(reqs)
 	clean.Run(cfg.Duration + cfg.Drain)
 

@@ -217,6 +217,10 @@ func (b *Booster) Tick() {
 type DVPA struct {
 	OpLatency time.Duration
 	Ops       int64
+	// Tracer and Now, when both set, emit one "dvpa-resize" span per
+	// operation covering [Now, Now+OpLatency] with the container path.
+	Tracer *obs.Tracer
+	Now    func() time.Duration
 }
 
 // NewDVPA returns a D-VPA with the measured 23 ms operation latency.
@@ -230,6 +234,10 @@ func (d *DVPA) Resize(h *cgroup.Hierarchy, pod, container *cgroup.Group, target 
 		return 0, fmt.Errorf("hrm: d-vpa resize: %w", err)
 	}
 	d.Ops++
+	if tr := d.Tracer; tr.Enabled() && d.Now != nil {
+		at := d.Now()
+		tr.EmitSpan(obs.Sp(obs.SpanDVPA, at, at+d.OpLatency).Note(container.Path()))
+	}
 	return d.OpLatency, nil
 }
 

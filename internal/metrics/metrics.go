@@ -70,20 +70,43 @@ func (w *Window) Percentile(p float64) (float64, bool) {
 	if len(w.samples) == 0 {
 		return 0, false
 	}
-	if p <= 0 || p > 100 {
-		panic(fmt.Sprintf("metrics: percentile %v out of (0,100]", p))
-	}
 	vals := w.scratch[:0]
 	for _, s := range w.samples {
 		vals = append(vals, s.v)
 	}
 	w.scratch = vals
+	return PercentileInPlace(vals, p), true
+}
+
+// PercentileInPlace returns the p-th percentile (0 < p <= 100) of vals
+// using the nearest-rank method, sorting vals in place. It is the one
+// shared tail-latency kernel: Window.Percentile and the core report
+// percentiles all route through it. Returns 0 for an empty slice.
+func PercentileInPlace(vals []float64, p float64) float64 {
+	if p <= 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of (0,100]", p))
+	}
+	if len(vals) == 0 {
+		return 0
+	}
 	sort.Float64s(vals)
-	rank := int(math.Ceil(p / 100 * float64(len(vals))))
+	return SortedPercentile(vals, p)
+}
+
+// SortedPercentile returns the p-th nearest-rank percentile of an
+// already ascending-sorted slice. Returns 0 for an empty slice.
+func SortedPercentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
 	if rank < 1 {
 		rank = 1
 	}
-	return vals[rank-1], true
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // Mean returns the average of the samples, and false if empty.

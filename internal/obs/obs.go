@@ -159,11 +159,17 @@ type NullSink struct{}
 // Record implements Sink.
 func (NullSink) Record(Event) {}
 
-// RingSink keeps the most recent events in a fixed-capacity ring.
+// RingSink keeps the most recent events in a fixed-capacity ring, plus
+// a second ring of spans and every decision record (span.go).
 type RingSink struct {
 	buf   []Event
 	next  int
 	total uint64
+
+	spans     []Span
+	spanNext  int
+	spanTotal uint64
+	decisions []Decision
 }
 
 // NewRingSink creates a ring holding up to capacity events.
@@ -203,12 +209,17 @@ func (s *RingSink) Events() []Event {
 
 // WriterSink streams events as NDJSON: one JSON object per line. It
 // buffers internally and reuses one scratch buffer per line, so steady-
-// state emission does not allocate.
+// state emission does not allocate. Write failures do not stop the
+// simulation: the line is dropped, Dropped is incremented and the first
+// error is retained for Err — callers surface both in the run report.
 type WriterSink struct {
 	w       *bufio.Writer
 	scratch []byte
-	// Lines counts records written.
-	Lines uint64
+	err     error
+	// Lines counts records written; Dropped counts records lost to
+	// write errors (disk full, closed pipe, ...).
+	Lines   uint64
+	Dropped uint64
 }
 
 // NewWriterSink wraps w in a buffered NDJSON encoder. Call Flush before
@@ -221,12 +232,37 @@ func NewWriterSink(w io.Writer) *WriterSink {
 func (s *WriterSink) Record(ev Event) {
 	s.scratch = AppendJSON(s.scratch[:0], ev)
 	s.scratch = append(s.scratch, '\n')
-	_, _ = s.w.Write(s.scratch)
+	s.write()
+}
+
+// write flushes the scratch line to the buffered writer, accounting
+// drops instead of silently ignoring errors (bufio errors are sticky,
+// so after the first failure every subsequent record counts as
+// dropped).
+func (s *WriterSink) write() {
+	if _, err := s.w.Write(s.scratch); err != nil {
+		s.Dropped++
+		if s.err == nil {
+			s.err = err
+		}
+		return
+	}
 	s.Lines++
 }
 
+// Err returns the first write error encountered (nil if none).
+func (s *WriterSink) Err() error { return s.err }
+
 // Flush drains the internal buffer to the underlying writer.
-func (s *WriterSink) Flush() error { return s.w.Flush() }
+func (s *WriterSink) Flush() error {
+	if err := s.w.Flush(); err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		return err
+	}
+	return s.err
+}
 
 // AppendJSON appends the event's JSON object (no trailing newline) to
 // dst and returns the extended slice. Identifier fields equal to the -1
@@ -312,6 +348,16 @@ type Tracer struct {
 	tag    string
 	seq    uint64
 	counts [kindCount]uint64
+
+	// Span/decision support (span.go). The sink's capabilities are
+	// resolved once here so EmitSpan/EmitDecision cost a nil check, not
+	// a per-call type assertion.
+	spanSink  SpanSink
+	decSink   DecisionSink
+	spanSeq   uint64
+	decSeq    int64
+	spans     uint64
+	decisions uint64
 }
 
 // NewTracer builds a tracer over a virtual clock and a sink. A nil sink
@@ -323,7 +369,14 @@ func NewTracer(now func() time.Duration, sink Sink) *Tracer {
 	if sink == nil {
 		sink = NullSink{}
 	}
-	return &Tracer{now: now, sink: sink}
+	t := &Tracer{now: now, sink: sink}
+	if ss, ok := sink.(SpanSink); ok {
+		t.spanSink = ss
+	}
+	if ds, ok := sink.(DecisionSink); ok {
+		t.decSink = ds
+	}
+	return t
 }
 
 // SetTag stamps every subsequent event with tag (used when multiple

@@ -83,6 +83,61 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	mk := func() *Histogram {
+		r := NewRegistry()
+		return r.Histogram("lat_ms", Labels{}, []float64{10, 20, 40})
+	}
+
+	// Empty histogram: every quantile is 0, including out-of-range q.
+	empty := mk()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if v := empty.Quantile(q); v != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, v)
+		}
+	}
+
+	// q <= 0 clamps to the lower edge of the first occupied bucket,
+	// q > 1 clamps to q=1.
+	h := mk()
+	for i := 0; i < 4; i++ {
+		h.Observe(15) // all in the (10,20] bucket
+	}
+	if v := h.Quantile(0); v != 10 {
+		t.Fatalf("Quantile(0) = %v, want bucket floor 10", v)
+	}
+	if v := h.Quantile(-0.3); v != 10 {
+		t.Fatalf("Quantile(-0.3) = %v, want clamp to 10", v)
+	}
+	if v, v1 := h.Quantile(7), h.Quantile(1); v != v1 {
+		t.Fatalf("Quantile(7) = %v, want clamp to Quantile(1) = %v", v, v1)
+	}
+
+	// Single occupied bucket: linear interpolation inside (10,20].
+	// rank(q=0.5) = 2 of 4 observations → 10 + 10*2/4 = 15.
+	if v := h.Quantile(0.5); v != 15 {
+		t.Fatalf("single-bucket Quantile(0.5) = %v, want 15", v)
+	}
+	if v := h.Quantile(0.25); v != 12.5 {
+		t.Fatalf("single-bucket Quantile(0.25) = %v, want 12.5", v)
+	}
+	if v := h.Quantile(1); v != 20 {
+		t.Fatalf("single-bucket Quantile(1) = %v, want 20", v)
+	}
+
+	// All observations in the +Inf overflow bucket: quantiles clamp to
+	// the last finite bound rather than extrapolating.
+	over := mk()
+	for i := 0; i < 3; i++ {
+		over.Observe(1e6)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if v := over.Quantile(q); v != 40 {
+			t.Fatalf("overflow-only Quantile(%v) = %v, want clamp to 40", q, v)
+		}
+	}
+}
+
 func TestGatherDeterministicAndComplete(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("b_total", Labels{Cluster: "c1"}).Inc()

@@ -52,6 +52,20 @@ type Report struct {
 	Series      map[string][]float64 `json:"series"`       // per-period collector series
 	Metrics     []MetricSample       `json:"metrics"`      // final registry scrape
 	EventCounts map[string]uint64    `json:"event_counts"` // tracer per-kind totals
+
+	SLO  []SLOReport `json:"slo,omitempty"`  // per-service SLO accounting
+	Sink *SinkStats  `json:"sink,omitempty"` // trace-sink health
+}
+
+// SinkStats reports trace-sink health: how much was recorded and, for
+// writer-backed sinks, whether anything was lost to I/O errors.
+type SinkStats struct {
+	Events    uint64 `json:"events"`
+	Spans     uint64 `json:"spans,omitempty"`
+	Decisions uint64 `json:"decisions,omitempty"`
+	Lines     uint64 `json:"lines,omitempty"`   // NDJSON lines written
+	Dropped   uint64 `json:"dropped,omitempty"` // records lost to write errors
+	Error     string `json:"error,omitempty"`   // first write error, if any
 }
 
 // ConfigDigest hashes a flat config map into a stable hex digest

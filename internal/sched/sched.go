@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -100,6 +101,35 @@ func (s *Scoring) Pick(r *engine.Request, cands []*engine.Node) (topo.NodeID, bo
 		}
 	}
 	return best.ID, true
+}
+
+// Audit emits one Decision audit record for a one-shot baseline pick:
+// each candidate with its projected load, Flow=1 on the chosen node,
+// losers marked not-chosen. The stamped decision ID is written to
+// r.DecisionID so the request's spans link back to it. No-op (returns
+// -1) when the tracer is disabled or the pick failed.
+func Audit(tr *obs.Tracer, sc Scheduler, r *engine.Request, cands []*engine.Node, chosen topo.NodeID, ok bool) int64 {
+	if !tr.Enabled() || !ok {
+		return -1
+	}
+	d := obs.Decision{
+		Algo:    sc.Name(),
+		Cluster: int(r.Cluster), Svc: int(r.Type),
+		Batch: 1, Routed: 1,
+		Candidates: make([]obs.Candidate, len(cands)),
+	}
+	for i, n := range cands {
+		c := obs.Candidate{Node: int(n.ID), Capacity: 1, Util: n.ProjectedUtilization()}
+		if n.ID == chosen {
+			c.Flow = 1
+		} else {
+			c.Reject = obs.RejectNotChosen
+		}
+		d.Candidates[i] = c
+	}
+	tr.EmitDecision(&d)
+	r.DecisionID = d.ID
+	return d.ID
 }
 
 // CandidatesLC returns the worker nodes an LC request may be dispatched

@@ -1,0 +1,441 @@
+// Package tanalysis reads the NDJSON trace stream written by
+// obs.WriterSink (events, spans, decision audit records) back into
+// typed form and answers the post-hoc questions the tango-trace CLI
+// exposes: which requests were slowest and where their time went,
+// which scheduling decisions were active during QoS-violation
+// episodes, and a Chrome trace_event export for Perfetto.
+package tanalysis
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// SpanRec is one parsed span line.
+type SpanRec struct {
+	ID       uint64
+	Parent   uint64
+	Name     string
+	Start    time.Duration
+	End      time.Duration
+	Tag      string
+	Req      int64
+	Cluster  int
+	Node     int
+	Service  int
+	Class    string
+	Decision int64
+	Detail   string
+}
+
+// Duration returns End-Start.
+func (s *SpanRec) Duration() time.Duration { return s.End - s.Start }
+
+// EventRec is one parsed point-event line.
+type EventRec struct {
+	Kind    string
+	At      time.Duration
+	Tag     string
+	Req     int64
+	Cluster int
+	Node    int
+	Service int
+	Class   string
+	Value   float64
+	Aux     int64
+	Detail  string
+}
+
+// DecisionRec is one parsed scheduling-decision audit line.
+type DecisionRec struct {
+	ID         int64
+	At         time.Duration
+	Tag        string
+	Algo       string
+	Phase      string
+	Cluster    int
+	Service    int
+	Batch      int
+	Routed     int
+	GraphNodes int
+	GraphEdges int
+	Cands      []obs.Candidate
+}
+
+// line is the union shape of one NDJSON line; classification keys:
+// "span"+"name" → span, "decision"+"algo" → decision, "kind" → event.
+type line struct {
+	Span     *uint64 `json:"span"`
+	Parent   uint64  `json:"parent"`
+	Name     string  `json:"name"`
+	StartUS  int64   `json:"start_us"`
+	EndUS    int64   `json:"end_us"`
+	Kind     string  `json:"kind"`
+	AtUS     int64   `json:"at_us"`
+	Tag      string  `json:"tag"`
+	Req      *int64  `json:"req"`
+	Cluster  *int    `json:"cluster"`
+	Node     *int    `json:"node"`
+	Service  *int    `json:"service"`
+	Class    string  `json:"class"`
+	Value    float64 `json:"value"`
+	Aux      int64   `json:"aux"`
+	Detail   string  `json:"detail"`
+	Decision *int64  `json:"decision"`
+
+	Algo       string          `json:"algo"`
+	Phase      string          `json:"phase"`
+	Batch      int             `json:"batch"`
+	Routed     int             `json:"routed"`
+	GraphNodes int             `json:"graph_nodes"`
+	GraphEdges int             `json:"graph_edges"`
+	Cands      []obs.Candidate `json:"cands"`
+}
+
+func opt[T any](p *T, sentinel T) T {
+	if p == nil {
+		return sentinel
+	}
+	return *p
+}
+
+// Trace holds one parsed NDJSON stream.
+type Trace struct {
+	Spans     []SpanRec
+	Events    []EventRec
+	Decisions []DecisionRec
+	// Skipped counts lines that were not valid JSON objects.
+	Skipped int
+}
+
+// Load parses an NDJSON stream. Unknown-but-valid JSON lines are
+// counted in Skipped rather than failing the load, so traces survive
+// partial writes and foreign lines.
+func Load(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var l line
+		if err := json.Unmarshal(raw, &l); err != nil {
+			t.Skipped++
+			continue
+		}
+		us := func(v int64) time.Duration { return time.Duration(v) * time.Microsecond }
+		switch {
+		case l.Span != nil && l.Name != "":
+			t.Spans = append(t.Spans, SpanRec{
+				ID: *l.Span, Parent: l.Parent, Name: l.Name,
+				Start: us(l.StartUS), End: us(l.EndUS), Tag: l.Tag,
+				Req:     opt(l.Req, -1),
+				Cluster: opt(l.Cluster, -1), Node: opt(l.Node, -1),
+				Service: opt(l.Service, -1), Class: l.Class,
+				Decision: opt(l.Decision, -1), Detail: l.Detail,
+			})
+		case l.Decision != nil && l.Algo != "":
+			t.Decisions = append(t.Decisions, DecisionRec{
+				ID: *l.Decision, At: us(l.AtUS), Tag: l.Tag,
+				Algo: l.Algo, Phase: l.Phase,
+				Cluster: opt(l.Cluster, -1), Service: opt(l.Service, -1),
+				Batch: l.Batch, Routed: l.Routed,
+				GraphNodes: l.GraphNodes, GraphEdges: l.GraphEdges,
+				Cands: l.Cands,
+			})
+		case l.Kind != "":
+			t.Events = append(t.Events, EventRec{
+				Kind: l.Kind, At: us(l.AtUS), Tag: l.Tag,
+				Req:     opt(l.Req, -1),
+				Cluster: opt(l.Cluster, -1), Node: opt(l.Node, -1),
+				Service: opt(l.Service, -1), Class: l.Class,
+				Value: l.Value, Aux: l.Aux, Detail: l.Detail,
+			})
+		default:
+			t.Skipped++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tanalysis: scan line %d: %w", ln, err)
+	}
+	return t, nil
+}
+
+// RequestTrace is one request's span tree: the root "request" span and
+// its children in start order.
+type RequestTrace struct {
+	Root     SpanRec
+	Children []SpanRec
+}
+
+// ChildSum returns the summed child durations — by the engine's tiling
+// contract this equals the root duration for completed requests.
+func (rt *RequestTrace) ChildSum() time.Duration {
+	var sum time.Duration
+	for i := range rt.Children {
+		sum += rt.Children[i].Duration()
+	}
+	return sum
+}
+
+// Requests groups spans into per-request trees, ordered by root span ID.
+// Spans are matched by (tag, parent ID): span IDs restart per tracer, so
+// when several runs share one trace file (tango-bench), the tag keeps
+// their trees apart.
+func (t *Trace) Requests() []RequestTrace {
+	type key struct {
+		tag string
+		id  uint64
+	}
+	byParent := map[key][]SpanRec{}
+	var roots []SpanRec
+	for _, s := range t.Spans {
+		if s.Name == obs.SpanRequest {
+			roots = append(roots, s)
+		} else if s.Parent != 0 {
+			k := key{s.Tag, s.Parent}
+			byParent[k] = append(byParent[k], s)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if roots[i].Tag != roots[j].Tag {
+			return roots[i].Tag < roots[j].Tag
+		}
+		return roots[i].ID < roots[j].ID
+	})
+	out := make([]RequestTrace, len(roots))
+	for i, r := range roots {
+		kids := byParent[key{r.Tag, r.ID}]
+		sort.Slice(kids, func(a, b int) bool {
+			if kids[a].Start != kids[b].Start {
+				return kids[a].Start < kids[b].Start
+			}
+			return kids[a].ID < kids[b].ID
+		})
+		out[i] = RequestTrace{Root: r, Children: kids}
+	}
+	return out
+}
+
+// TopK returns the k slowest requests (by root span duration), slowest
+// first. k <= 0 or beyond the request count returns all of them.
+func (t *Trace) TopK(k int) []RequestTrace {
+	rts := t.Requests()
+	sort.SliceStable(rts, func(i, j int) bool {
+		return rts[i].Root.Duration() > rts[j].Root.Duration()
+	})
+	if k > 0 && k < len(rts) {
+		rts = rts[:k]
+	}
+	return rts
+}
+
+// ServiceEpisodes is one service's recomputed violation episodes.
+type ServiceEpisodes struct {
+	Service  int
+	Class    string
+	Episodes []obs.Episode
+}
+
+// Episodes replays the trace's LC request outcomes and decision records
+// through the same obs.SLOAccountant the live system runs, so the
+// offline attribution matches the run report. cfg zero value = the
+// accountant's defaults.
+func (t *Trace) Episodes(cfg obs.SLOConfig) []ServiceEpisodes {
+	acc := obs.NewSLOAccountant(cfg)
+	// Merge outcomes (request root spans) and decisions into one
+	// time-ordered feed: the accountant requires nondecreasing times.
+	type feedItem struct {
+		at       time.Duration
+		decision *DecisionRec
+		span     *SpanRec
+	}
+	var feed []feedItem
+	for i := range t.Spans {
+		s := &t.Spans[i]
+		if s.Name == obs.SpanRequest && s.Class == "LC" {
+			feed = append(feed, feedItem{at: s.End, span: s})
+		}
+	}
+	for i := range t.Decisions {
+		d := &t.Decisions[i]
+		feed = append(feed, feedItem{at: d.At, decision: d})
+	}
+	sort.SliceStable(feed, func(i, j int) bool { return feed[i].at < feed[j].at })
+	for _, f := range feed {
+		if f.decision != nil {
+			acc.NoteDecision(f.decision.ID, f.at)
+			continue
+		}
+		s := f.span
+		completed := s.Detail != "abandoned" && s.Detail != "displaced"
+		satisfied := s.Detail == ""
+		latMs := float64(s.Duration()) / float64(time.Millisecond)
+		acc.Observe(s.Service, fmt.Sprintf("svc%d", s.Service), s.Class,
+			s.End, latMs, completed, satisfied)
+	}
+	acc.Finalize()
+	var out []ServiceEpisodes
+	for _, s := range acc.Services() {
+		if len(s.Episodes) == 0 {
+			continue
+		}
+		out = append(out, ServiceEpisodes{Service: s.Service, Class: s.Class, Episodes: s.Episodes})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Service < out[j].Service })
+	return out
+}
+
+// Tags returns the distinct run tags present in the trace, sorted.
+func (t *Trace) Tags() []string {
+	set := map[string]bool{}
+	for i := range t.Spans {
+		set[t.Spans[i].Tag] = true
+	}
+	for i := range t.Events {
+		set[t.Events[i].Tag] = true
+	}
+	for i := range t.Decisions {
+		set[t.Decisions[i].Tag] = true
+	}
+	tags := make([]string, 0, len(set))
+	for tag := range set {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+// FilterTag returns a new Trace holding only the lines stamped with the
+// given run tag. Span and decision IDs are only unique within one run,
+// so analyses of multi-run traces should filter first.
+func (t *Trace) FilterTag(tag string) *Trace {
+	out := &Trace{Skipped: t.Skipped}
+	for _, s := range t.Spans {
+		if s.Tag == tag {
+			out.Spans = append(out.Spans, s)
+		}
+	}
+	for _, e := range t.Events {
+		if e.Tag == tag {
+			out.Events = append(out.Events, e)
+		}
+	}
+	for _, d := range t.Decisions {
+		if d.Tag == tag {
+			out.Decisions = append(out.Decisions, d)
+		}
+	}
+	return out
+}
+
+// DecisionByID returns the audit record with the given ID, or nil.
+func (t *Trace) DecisionByID(id int64) *DecisionRec {
+	for i := range t.Decisions {
+		if t.Decisions[i].ID == id {
+			return &t.Decisions[i]
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one Chrome trace_event object. ts/dur are in
+// microseconds per the trace-event format spec.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome renders the trace as Chrome trace_event JSON
+// ({"traceEvents": [...]}), loadable in Perfetto or about://tracing.
+// Spans become complete ("X") events and point events become instants
+// ("i"); pid is the cluster and tid the worker node (requests without a
+// node — e.g. still in the master queue — land on tid 0).
+func (t *Trace) WriteChrome(w io.Writer) error {
+	evs := make([]chromeEvent, 0, len(t.Spans)+len(t.Events))
+	pid := func(cluster int) int64 {
+		if cluster < 0 {
+			return 0
+		}
+		return int64(cluster)
+	}
+	tid := func(node int) int64 {
+		if node < 0 {
+			return 0
+		}
+		return int64(node)
+	}
+	for _, s := range t.Spans {
+		args := map[string]any{"span": s.ID}
+		if s.Req >= 0 {
+			args["req"] = s.Req
+		}
+		if s.Decision >= 0 {
+			args["decision"] = s.Decision
+		}
+		if s.Class != "" {
+			args["class"] = s.Class
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		name := s.Name
+		if s.Service >= 0 {
+			name = fmt.Sprintf("%s svc%d", s.Name, s.Service)
+		}
+		evs = append(evs, chromeEvent{
+			Name: name, Ph: "X",
+			TS: int64(s.Start / time.Microsecond), Dur: int64(s.Duration() / time.Microsecond),
+			PID: pid(s.Cluster), TID: tid(s.Node), Args: args,
+		})
+	}
+	for _, e := range t.Events {
+		args := map[string]any{}
+		if e.Req >= 0 {
+			args["req"] = e.Req
+		}
+		if e.Value != 0 {
+			args["value"] = e.Value
+		}
+		evs = append(evs, chromeEvent{
+			Name: e.Kind, Ph: "i", S: "t",
+			TS:  int64(e.At / time.Microsecond),
+			PID: pid(e.Cluster), TID: tid(e.Node), Args: args,
+		})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{evs}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// BreakdownLine formats one request's child-span breakdown, e.g.
+// "sched 2.1ms | transit 0.4ms | queue 0ms | exec 48ms | return 0.4ms".
+func (rt *RequestTrace) BreakdownLine() string {
+	parts := make([]string, 0, len(rt.Children))
+	for i := range rt.Children {
+		c := &rt.Children[i]
+		parts = append(parts, fmt.Sprintf("%s %.3gms", c.Name,
+			float64(c.Duration())/float64(time.Millisecond)))
+	}
+	return strings.Join(parts, " | ")
+}

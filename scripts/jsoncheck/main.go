@@ -1,0 +1,40 @@
+// jsoncheck validates that a file is a single well-formed JSON document
+// and, when a key is given, that the top-level object has a non-empty
+// array under that key. Used by scripts/trace_smoke.sh to validate the
+// Chrome trace_event export without depending on jq or python.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 || len(os.Args) > 3 {
+		fmt.Fprintln(os.Stderr, "usage: jsoncheck <file> [required-array-key]")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: invalid JSON: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	if len(os.Args) == 3 {
+		key := os.Args[2]
+		var arr []json.RawMessage
+		if err := json.Unmarshal(doc[key], &arr); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %q is not an array: %v\n", os.Args[1], key, err)
+			os.Exit(1)
+		}
+		if len(arr) == 0 {
+			fmt.Fprintf(os.Stderr, "%s: %q is empty\n", os.Args[1], key)
+			os.Exit(1)
+		}
+	}
+}

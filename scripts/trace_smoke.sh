@@ -1,0 +1,45 @@
+#!/bin/sh
+# Trace-pipeline smoke test: run a short simulation with span tracing
+# enabled and check that tango-trace can parse, summarize, analyze and
+# Chrome-export the stream. Exercises the same path as
+#   tango-sim -trace ... && tango-trace top ...
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== build =="
+go build -o "$tmp/tango-sim" ./cmd/tango-sim
+go build -o "$tmp/tango-trace" ./cmd/tango-trace
+
+echo "== simulate (10s, traced) =="
+"$tmp/tango-sim" -system tango -pattern P3 -duration 10s -seed 7 \
+    -trace "$tmp/trace.ndjson"
+
+[ -s "$tmp/trace.ndjson" ] || { echo "trace file empty"; exit 1; }
+
+echo "== tango-trace summary =="
+"$tmp/tango-trace" summary "$tmp/trace.ndjson" | tee "$tmp/summary.txt"
+grep -q "spans:" "$tmp/summary.txt" || { echo "summary missing span count"; exit 1; }
+# Every completed request's child spans must tile its e2e latency.
+if grep -q "tiling:" "$tmp/summary.txt"; then
+    tiling=$(grep "tiling:" "$tmp/summary.txt")
+    total=$(echo "$tiling" | sed 's|.* \([0-9]*\)/\([0-9]*\) .*|\2|')
+    exact=$(echo "$tiling" | sed 's|.* \([0-9]*\)/\([0-9]*\) .*|\1|')
+    [ "$exact" = "$total" ] || { echo "tiling violated: $tiling"; exit 1; }
+fi
+
+echo "== tango-trace top (stdin) =="
+"$tmp/tango-trace" top -k 5 < "$tmp/trace.ndjson" > /dev/null
+
+echo "== tango-trace violations =="
+"$tmp/tango-trace" violations "$tmp/trace.ndjson" > /dev/null
+
+echo "== tango-trace chrome =="
+"$tmp/tango-trace" chrome "$tmp/trace.ndjson" > "$tmp/chrome.json"
+# The export must be one valid JSON document with a traceEvents array.
+go run ./scripts/jsoncheck "$tmp/chrome.json" traceEvents
+
+echo "trace smoke OK"
