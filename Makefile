@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench check fmt vet clean trace-smoke
+.PHONY: all build test race bench check fmt vet clean trace-smoke verify replay-smoke fuzz-smoke perf
 
 all: check
 
@@ -36,6 +36,26 @@ vet:
 	$(GO) vet ./...
 
 check: fmt vet build race
+
+# The verification gate every perf PR must pass: vet, race-enabled
+# tests (includes the differential oracles, metamorphic properties and
+# replay tests in internal/check) and the end-to-end replay-digest
+# smoke via tango-sim -digest -verify.
+verify: vet race replay-smoke
+
+replay-smoke:
+	sh scripts/replay_smoke.sh
+
+# 10-second fuzz budget over the native fuzz targets (5 s each): the
+# MCNF differential oracle and the trace CSV round-trip.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzMinCostFlow -fuzztime 5s ./internal/flow
+	$(GO) test -run xxx -fuzz FuzzTraceCSV -fuzztime 5s ./internal/trace
+
+# Write a BENCH_<date>.json perf snapshot (solver + engine ns/op) into
+# the repo root for the perf trajectory baseline.
+perf:
+	$(GO) run ./cmd/tango-bench -perf .
 
 clean:
 	$(GO) clean ./...

@@ -31,9 +31,22 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		traceOut = flag.String("trace", "", "write lifecycle events of every run as NDJSON to this file")
 		report   = flag.String("report", "", "write a suite report (JSON) to this file")
+		perfDir  = flag.String("perf", "", "write a BENCH_<date>.json perf snapshot into this directory and exit (combine with -exp to also run experiments)")
 		profile  = flag.String("pprof", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *perfDir != "" {
+		path, err := writePerfSnapshot(*perfDir, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("perf: snapshot -> %s\n", path)
+		if *exp == "" && !*list {
+			return
+		}
+	}
 
 	type entry struct {
 		id  string

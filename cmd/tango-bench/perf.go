@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Perf snapshot: a small machine-readable baseline (BENCH_<date>.json)
+// so future optimization PRs have a trajectory to compare against. Two
+// hot paths are timed: the DSS-LC-shaped min-cost-flow solve (and the
+// Dinic max-flow on the same graph) and the end-to-end engine event
+// rate of a standard Tango run.
+
+type perfSnapshot struct {
+	Schema string `json:"schema"`
+	Date   string `json:"date"`
+	Go     string `json:"go"`
+	OSArch string `json:"os_arch"`
+	Seed   int64  `json:"seed"`
+
+	// Solver: src -> master -> 200 workers -> sink, routing a 128-request
+	// batch, Reset+re-solve per iteration.
+	SolverWorkers int     `json:"solver_workers"`
+	SolverBatch   int     `json:"solver_batch"`
+	SolverNsOp    float64 `json:"solver_ns_op"`
+	DinicNsOp     float64 `json:"dinic_ns_op"`
+
+	// Engine: PhysicalTestbed Tango run under P3; ns per fired
+	// simulation event amortizes dispatch, admission and completion.
+	EngineEvents  uint64  `json:"engine_events"`
+	EngineEventNs float64 `json:"engine_event_ns"`
+	EngineWallMs  float64 `json:"engine_wall_ms"`
+}
+
+// perfGraph builds the DSS-LC routing shape used by the solver timings.
+func perfGraph(workers int, batch int64) (*flow.Graph, int, int) {
+	g := flow.NewGraph()
+	src, master, sink := g.AddNode(), g.AddNode(), g.AddNode()
+	g.AddEdge(src, master, batch, 0)
+	for i := 0; i < workers; i++ {
+		w := g.AddNode()
+		// Deterministic capacity/cost spread standing in for Eq. 2/3.
+		g.AddEdge(master, w, int64(1+i%7), int64(1000+137*(i%29)))
+		g.AddEdge(w, sink, int64(1+i%7), 0)
+	}
+	return g, src, sink
+}
+
+// timeOp reports ns/op for fn, self-scaling the iteration count until
+// at least 50 ms of work was measured.
+func timeOp(fn func()) float64 {
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= 50*time.Millisecond || iters >= 1<<20 {
+			return float64(elapsed.Nanoseconds()) / float64(iters)
+		}
+		iters *= 4
+	}
+}
+
+func writePerfSnapshot(dir string, seed int64) (string, error) {
+	const workers, batch = 200, 128
+	snap := perfSnapshot{
+		Schema:        "tango.perf-snapshot/v1",
+		Date:          time.Now().Format("2006-01-02"),
+		Go:            runtime.Version(),
+		OSArch:        runtime.GOOS + "/" + runtime.GOARCH,
+		Seed:          seed,
+		SolverWorkers: workers, SolverBatch: batch,
+	}
+
+	g, src, sink := perfGraph(workers, batch)
+	snap.SolverNsOp = timeOp(func() {
+		g.MinCostFlow(src, sink, batch)
+		g.Reset()
+	})
+	snap.DinicNsOp = timeOp(func() {
+		g.MaxFlowDinic(src, sink)
+		g.Reset()
+	})
+
+	tp := topo.PhysicalTestbed()
+	var clusters []topo.ClusterID
+	for _, c := range tp.Clusters {
+		clusters = append(clusters, c.ID)
+	}
+	gen := trace.DefaultGenConfig(clusters, trace.P3, 8*time.Second, seed)
+	reqs := trace.Generate(gen)
+	sys := core.New(core.Tango(tp, seed))
+	sys.Inject(reqs)
+	start := time.Now()
+	sys.Run(10 * time.Second)
+	wall := time.Since(start)
+	snap.EngineEvents = sys.Sim.Fired()
+	snap.EngineWallMs = float64(wall) / float64(time.Millisecond)
+	if snap.EngineEvents > 0 {
+		snap.EngineEventNs = float64(wall.Nanoseconds()) / float64(snap.EngineEvents)
+	}
+
+	path := filepath.Join(dir, "BENCH_"+snap.Date+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&snap); err != nil {
+		_ = f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	fmt.Printf("perf: solver %.0f ns/op, dinic %.0f ns/op, engine %.0f ns/event (%d events)\n",
+		snap.SolverNsOp, snap.DinicNsOp, snap.EngineEventNs, snap.EngineEvents)
+	return path, nil
+}

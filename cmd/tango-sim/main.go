@@ -39,6 +39,8 @@ func main() {
 		series   = flag.Bool("series", false, "print per-period series")
 		traceOut = flag.String("trace", "", "write lifecycle events as NDJSON to this file")
 		report   = flag.String("report", "", "write the run report (JSON) to this file")
+		digest   = flag.Bool("digest", false, "print the replay digests (trace stream + normalized report)")
+		verify   = flag.Bool("verify", false, "run invariant sweeps and flow-solve cross-checks; exit 1 on any violation")
 		profile  = flag.String("pprof", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
@@ -104,6 +106,8 @@ func main() {
 
 	// Observability: -trace streams NDJSON events; -report alone still
 	// needs a tracer (for the event counts), so it gets a discarding sink.
+	// -digest wraps whichever sink is active in a hashing sink (tracing
+	// must be on for the stream digest to cover the run).
 	var wsink *obs.WriterSink
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -114,10 +118,16 @@ func main() {
 		defer f.Close()
 		wsink = obs.NewWriterSink(f)
 		opts.TraceSink = wsink
-	} else if *report != "" {
+	} else if *report != "" || *digest {
 		opts.TraceSink = obs.NullSink{}
 	}
+	var dsink *obs.DigestSink
+	if *digest {
+		dsink = obs.NewDigestSink(opts.TraceSink)
+		opts.TraceSink = dsink
+	}
 	opts.TraceTag = *system
+	opts.Verify = *verify
 
 	fmt.Printf("system=%s pattern=%s clusters=%d workers=%d requests=%d (LC %d / BE %d)\n",
 		*system, pat, len(tp.Clusters), len(tp.Nodes)-len(tp.Clusters), len(reqs),
@@ -155,8 +165,11 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	var rep *obs.Report
+	if *report != "" || *digest {
+		rep = sys.Report(*system, elapsed)
+	}
 	if *report != "" {
-		rep := sys.Report(*system, elapsed)
 		f, err := os.Create(*report)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -172,6 +185,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("report: %s (config digest %s)\n", *report, rep.ConfigDigest)
+	}
+	if *digest {
+		// Replay contract: identical scenario + seed => identical digests
+		// (the report digest is normalized over wall-clock fields).
+		fmt.Printf("digest: stream=%s report=%s records=%d\n",
+			dsink.Sum(), obs.ReportDigest(rep), dsink.Records())
 	}
 
 	sum := sys.Summarize(*system)
@@ -198,6 +217,17 @@ func main() {
 				m.AbandonedSeries.Values[i], m.TailLatencySer.Values[i])
 		}
 		fmt.Println(st.String())
+	}
+
+	if *verify {
+		v := sys.Verifier
+		fmt.Printf("verify: %d checks, %d violation(s)\n", v.Checks, v.Total)
+		if err := v.Err(); err != nil {
+			for _, viol := range v.Violations {
+				fmt.Fprintf(os.Stderr, "verify: %s\n", viol)
+			}
+			os.Exit(1)
+		}
 	}
 }
 

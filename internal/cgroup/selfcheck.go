@@ -1,0 +1,36 @@
+package cgroup
+
+import "fmt"
+
+// SelfCheck validates the whole-tree limit invariant that the §4.2
+// sequential-modification rule exists to preserve: every group's
+// explicit limit must fit inside its parent's effective limit, and no
+// limit may be negative. SetLimits and ResizePodAndContainer enforce
+// this at each write; the sweep proves no sequence of writes (including
+// the two-step pod/container resizes) left the tree in a state the
+// kernel would have rejected. Returns the first violation found.
+func (h *Hierarchy) SelfCheck() error {
+	var walk func(g *Group) error
+	walk = func(g *Group) error {
+		if g.limits.CPUQuota < 0 || g.limits.CPUShares < 0 || g.limits.MemoryMiB < 0 {
+			return fmt.Errorf("cgroup %s: negative limits %+v", g.Path(), g.limits)
+		}
+		if p := g.parent; p != nil {
+			if pcpu := p.effectiveCPU(); pcpu > 0 && g.limits.CPUQuota > pcpu {
+				return fmt.Errorf("cgroup %s: cpu %dm exceeds parent effective %dm",
+					g.Path(), g.limits.CPUQuota, pcpu)
+			}
+			if pmem := p.effectiveMemory(); pmem > 0 && g.limits.MemoryMiB > pmem {
+				return fmt.Errorf("cgroup %s: memory %dMi exceeds parent effective %dMi",
+					g.Path(), g.limits.MemoryMiB, pmem)
+			}
+		}
+		for _, name := range g.Children() {
+			if err := walk(g.children[name]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(h.root)
+}

@@ -1,0 +1,68 @@
+package cgroup
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/res"
+)
+
+func TestSelfCheckCleanTreeAndResizes(t *testing.T) {
+	h := NewHierarchy(res.V(4000, 8192, 500))
+	pod, err := h.CreatePod(Burstable, "pod-1", Limits{CPUQuota: 1000, MemoryMiB: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := h.CreateContainer(pod, "c1", Limits{CPUQuota: 800, MemoryMiB: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SelfCheck(); err != nil {
+		t.Fatalf("fresh tree: %v", err)
+	}
+	// Grow then shrink through the order-aware resize; the invariant must
+	// hold after each.
+	if err := h.ResizePodAndContainer(pod, ctr, Limits{CPUQuota: 2000, MemoryMiB: 2048}, Limits{CPUQuota: 1500, MemoryMiB: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SelfCheck(); err != nil {
+		t.Fatalf("after grow: %v", err)
+	}
+	if err := h.ResizePodAndContainer(pod, ctr, Limits{CPUQuota: 600, MemoryMiB: 512}, Limits{CPUQuota: 500, MemoryMiB: 256}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SelfCheck(); err != nil {
+		t.Fatalf("after shrink: %v", err)
+	}
+}
+
+func TestSelfCheckDetectsBrokenTree(t *testing.T) {
+	build := func() (*Hierarchy, *Group, *Group) {
+		h := NewHierarchy(res.V(4000, 8192, 500))
+		pod, _ := h.CreatePod(Burstable, "pod-1", Limits{CPUQuota: 1000, MemoryMiB: 1024})
+		ctr, _ := h.CreateContainer(pod, "c1", Limits{CPUQuota: 800, MemoryMiB: 512})
+		return h, pod, ctr
+	}
+
+	// Container CPU raised past the pod limit behind the API's back (the
+	// "wrong modification order" state the kernel would reject).
+	h, _, ctr := build()
+	ctr.limits.CPUQuota = 3000
+	if err := h.SelfCheck(); err == nil || !strings.Contains(err.Error(), "cpu") {
+		t.Fatalf("cpu violation not detected: %v", err)
+	}
+
+	// Pod memory shrunk below the container's.
+	h, pod, _ := build()
+	pod.limits.MemoryMiB = 256
+	if err := h.SelfCheck(); err == nil || !strings.Contains(err.Error(), "memory") {
+		t.Fatalf("memory violation not detected: %v", err)
+	}
+
+	// Negative limit.
+	h, pod, _ = build()
+	pod.limits.CPUQuota = -5
+	if err := h.SelfCheck(); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative limit not detected: %v", err)
+	}
+}

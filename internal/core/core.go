@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/dcgbe"
 	"repro/internal/dsslc"
 	"repro/internal/engine"
@@ -89,6 +90,13 @@ type Options struct {
 	TraceSink obs.Sink
 	// TraceTag stamps every event (distinguishes systems sharing a sink).
 	TraceTag string
+
+	// Verify enables the differential-verification layer: a
+	// check.Verifier sweeps the engine's internal accounting and the SLO
+	// accountant's episode invariants on every collection period, and
+	// cross-checks flow conservation after every DSS-LC min-cost-flow
+	// solve. Violations are recorded, not fatal; read System.Verifier.
+	Verify bool
 }
 
 // Tango returns the full Tango configuration over a topology.
@@ -126,6 +134,9 @@ type System struct {
 	// SLO tracks per-service satisfaction, tail latency and violation
 	// episodes (always on; decision attribution needs the Tracer).
 	SLO *obs.SLOAccountant
+	// Verifier is non-nil when Options.Verify was set; it accumulates
+	// invariant violations observed during the run.
+	Verifier *check.Verifier
 
 	periodics []*sim.Event
 }
@@ -187,6 +198,12 @@ func New(o Options) *System {
 	if lc, ok := s.lcSched.(*dsslc.Scheduler); ok {
 		lc.Tracer = s.Tracer
 		lc.OnDecision = func(d obs.Decision) { s.SLO.NoteDecision(d.ID, d.At) }
+	}
+	if o.Verify {
+		s.Verifier = check.NewVerifier(s.Sim.Now)
+		if lc, ok := s.lcSched.(*dsslc.Scheduler); ok {
+			lc.OnSolve = s.Verifier.FlowHook()
+		}
 	}
 
 	if o.Reassure {
@@ -305,6 +322,12 @@ func (s *System) Start() {
 	}
 	if s.reassurer != nil {
 		s.periodics = append(s.periodics, s.reassurer.Start(s.Sim))
+	}
+	if s.Verifier != nil {
+		s.periodics = append(s.periodics, s.Sim.Every(s.opts.Period, func() {
+			s.Verifier.SweepEngine(s.Engine)
+			s.Verifier.SweepSLO(s.SLO)
+		}))
 	}
 }
 

@@ -56,6 +56,13 @@ type Scheduler struct {
 	// (the SLO accountant subscribes here).
 	Tracer     *obs.Tracer
 	OnDecision func(obs.Decision)
+
+	// OnSolve, when set, observes every min-cost-flow solve with the
+	// solved residual graph still intact. internal/check hangs its
+	// differential oracles here (flow conservation, nonnegative flow and
+	// cost) so verification runs cross-check the optimizer in situ
+	// without the scheduler importing the checker.
+	OnSolve func(g *flow.Graph, src, sink int, r flow.Result)
 }
 
 // New creates a DSS-LC scheduler with the paper's 500 km geo radius.
@@ -184,7 +191,10 @@ func (s *Scheduler) route(c topo.ClusterID, svc trace.TypeID, phase string, rs [
 		edges[i] = g.AddEdge(master, wn, cap, delayUS)
 		g.AddEdge(wn, sink, cap, 0)
 	}
-	g.MinCostFlow(src, sink, int64(len(rs)))
+	solved := g.MinCostFlow(src, sink, int64(len(rs)))
+	if s.OnSolve != nil {
+		s.OnSolve(g, src, sink, solved)
+	}
 	// Distribute requests over workers by flow amounts; any residual
 	// (flow < len(rs), e.g. link caps bind) falls back to the local
 	// cluster's least-loaded worker.

@@ -22,6 +22,7 @@ package hrm
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/cgroup"
@@ -323,10 +324,25 @@ func (ra *ReAssurer) Start(s *sim.Simulator) *sim.Event {
 }
 
 // Tick runs one pass of Algorithm 1 over every (node, LC service) pair.
+// Pairs are visited in sorted (node, service) order: the adjustments
+// commute, but the emitted EvReassure events are part of the trace
+// stream, and the replay contract (internal/check) requires the stream
+// to be byte-identical across same-seed runs — map order is not.
 func (ra *ReAssurer) Tick() {
-	for nodeID, byType := range ra.windows {
+	nodeIDs := make([]topo.NodeID, 0, len(ra.windows))
+	for id := range ra.windows {
+		nodeIDs = append(nodeIDs, id)
+	}
+	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+	for _, nodeID := range nodeIDs {
+		byType := ra.windows[nodeID]
 		n := ra.Engine.Node(nodeID)
+		types := make([]trace.TypeID, 0, len(byType))
 		for t := range byType {
+			types = append(types, t)
+		}
+		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		for _, t := range types {
 			slack, ok := ra.Slack(nodeID, t)
 			if !ok {
 				continue

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+)
+
+// FuzzTraceCSV feeds arbitrary text through ReadCSV: it must never
+// panic, and any stream it accepts must round-trip — writing the parsed
+// requests back out and re-reading them yields the identical slice.
+// Run continuously with `make fuzz-smoke` (or `go test -fuzz`).
+func FuzzTraceCSV(f *testing.F) {
+	// Seed corpus: a real generated trace, a minimal valid stream, and
+	// near-misses (bad class, unsorted arrivals, short rows).
+	var buf bytes.Buffer
+	gen := DefaultGenConfig([]topo.ClusterID{0, 1}, P3, time.Second, 1)
+	gen.LCRatePerSec, gen.BERatePerSec = 10, 5
+	if err := WriteCSV(&buf, Generate(gen)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("id,type,class,arrival_ns,cluster\n1,1,LC,1000,0\n")
+	f.Add("id,type,class,arrival_ns,cluster\n1,1,XX,1000,0\n")
+	f.Add("id,type,class,arrival_ns,cluster\n1,1,LC,2000,0\n2,3,LC,1000,0\n")
+	f.Add("id,type\n1,1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		reqs, err := ReadCSV(strings.NewReader(s), nil)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var out bytes.Buffer
+		if err := WriteCSV(&out, reqs); err != nil {
+			t.Fatalf("write-back of accepted input failed: %v", err)
+		}
+		again, err := ReadCSV(&out, nil)
+		if err != nil {
+			t.Fatalf("re-read of written output failed: %v\noutput:\n%s", err, out.String())
+		}
+		if len(reqs) == 0 && len(again) == 0 {
+			return // DeepEqual treats nil and empty differently; both are empty
+		}
+		if !reflect.DeepEqual(reqs, again) {
+			t.Fatalf("round-trip changed requests:\nfirst:  %+v\nsecond: %+v", reqs, again)
+		}
+	})
+}

@@ -22,4 +22,7 @@ go build ./...
 echo "== go test -race =="
 go test -race -timeout 120m ./...
 
+echo "== replay smoke =="
+sh scripts/replay_smoke.sh
+
 echo "OK"
