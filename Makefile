@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench check fmt vet clean trace-smoke verify replay-smoke fuzz-smoke perf
+.PHONY: all build test race bench check fmt vet clean trace-smoke verify replay-smoke fuzz-smoke perf bench-smoke
 
 all: check
 
@@ -52,10 +52,16 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzMinCostFlow -fuzztime 5s ./internal/flow
 	$(GO) test -run xxx -fuzz FuzzTraceCSV -fuzztime 5s ./internal/trace
 
-# Write a BENCH_<date>.json perf snapshot (solver + engine ns/op) into
-# the repo root for the perf trajectory baseline.
+# Write a BENCH_<date>.json perf snapshot (solver/engine/cgroup ns/op
+# plus per-phase breakdowns) into the repo root for the perf trajectory
+# baseline. Diff two snapshots with `tango-bench -compare old new`.
 perf:
 	$(GO) run ./cmd/tango-bench -perf .
+
+# Bench regression-gate smoke: two quick snapshots compare clean, an
+# injected regression makes `tango-bench -compare` exit non-zero.
+bench-smoke:
+	sh scripts/bench_smoke.sh
 
 clean:
 	$(GO) clean ./...

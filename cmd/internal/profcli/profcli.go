@@ -1,0 +1,60 @@
+// Package profcli is the pprof plumbing shared by the tango CLIs: one
+// Start call arms the CPU profile (-pprof) and the heap profile
+// (-memprofile), and the returned stop function finalizes both.
+package profcli
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling. Either path may be empty; with both empty the
+// returned stop is a no-op. The stop function must be called exactly
+// once (defer it): it stops the CPU profile and writes the allocation
+// profile, returning the first error encountered.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = err
+			}
+		}
+		if memPath != "" {
+			if err := writeAllocProfile(memPath); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}
+
+// writeAllocProfile forces a GC (so the profile reflects live objects
+// accurately) and writes the allocs profile, which covers every
+// allocation since process start.
+func writeAllocProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+// Snapshot comparison: the bench regression gate. `tango-bench -compare
+// old.json new.json` diffs two perf snapshots metric by metric and
+// exits non-zero when any metric regressed past its threshold — wall
+// time against -threshold, allocation counts against -alloc-threshold
+// (allocations are near-deterministic, so their gate is tighter).
+
+// compareRow is one metric diffed between two snapshots.
+type compareRow struct {
+	Metric    string
+	Old, New  float64
+	DeltaPct  float64
+	Threshold float64 // percent; regression when DeltaPct > Threshold
+	Regressed bool
+}
+
+// newRow diffs one metric; rows with a missing side (zero in either
+// snapshot) are reported but never regress, so adding or removing a
+// phase does not trip the gate.
+func newRow(metric string, oldV, newV, thresholdPct float64) compareRow {
+	r := compareRow{Metric: metric, Old: oldV, New: newV, Threshold: thresholdPct}
+	if oldV > 0 && newV > 0 {
+		r.DeltaPct = (newV - oldV) / oldV * 100
+		r.Regressed = r.DeltaPct > thresholdPct
+	}
+	return r
+}
+
+// compareSnapshots diffs every comparable metric of two snapshots.
+func compareSnapshots(oldS, newS *perfSnapshot, nsPct, allocPct float64) []compareRow {
+	rows := []compareRow{
+		newRow("solver_ns_op", oldS.SolverNsOp, newS.SolverNsOp, nsPct),
+		newRow("dinic_ns_op", oldS.DinicNsOp, newS.DinicNsOp, nsPct),
+		newRow("engine_event_ns", oldS.EngineEventNs, newS.EngineEventNs, nsPct),
+		newRow("cgroup_resize_ns_op", oldS.CgroupResizeNsOp, newS.CgroupResizeNsOp, nsPct),
+	}
+	sections := []struct {
+		name     string
+		old, new []phaseRow
+	}{
+		{"solver", oldS.SolverPhases, newS.SolverPhases},
+		{"engine", oldS.EnginePhases, newS.EnginePhases},
+		{"cgroup", oldS.CgroupPhases, newS.CgroupPhases},
+	}
+	for _, sec := range sections {
+		idx := map[string]phaseRow{}
+		for _, p := range sec.old {
+			idx[p.Phase] = p
+		}
+		for _, np := range sec.new {
+			op, ok := idx[np.Phase]
+			if !ok {
+				continue // new phase: informational only
+			}
+			prefix := sec.name + ":" + np.Phase
+			rows = append(rows,
+				newRow(prefix+" ns_op", op.NsOp, np.NsOp, nsPct),
+				newRow(prefix+" bytes_op", op.BytesOp, np.BytesOp, allocPct),
+				newRow(prefix+" allocs_op", op.AllocsOp, np.AllocsOp, allocPct),
+			)
+		}
+	}
+	return rows
+}
+
+func readSnapshot(path string) (*perfSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s perfSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != "tango.perf-snapshot/v1" {
+		return nil, fmt.Errorf("%s: unexpected schema %q", path, s.Schema)
+	}
+	return &s, nil
+}
+
+// runCompare loads, diffs and prints; the returned code is the process
+// exit code (0 clean, 1 regression, 2 load error).
+func runCompare(oldPath, newPath string, nsPct, allocPct float64) int {
+	oldS, err := readSnapshot(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	newS, err := readSnapshot(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	rows := compareSnapshots(oldS, newS, nsPct, allocPct)
+	tb := metrics.NewTable(fmt.Sprintf("perf compare: %s -> %s", oldPath, newPath),
+		"metric", "old", "new", "delta%", "limit%", "verdict")
+	regressions := 0
+	for _, r := range rows {
+		verdict := "ok"
+		switch {
+		case r.Regressed:
+			verdict = "REGRESSED"
+			regressions++
+		case r.Old == 0 || r.New == 0:
+			verdict = "n/a"
+		}
+		tb.AddRowF(r.Metric, r.Old, r.New, r.DeltaPct, r.Threshold, verdict)
+	}
+	fmt.Println(tb.String())
+	if oldS.Quick != newS.Quick {
+		fmt.Fprintln(os.Stderr, "compare: warning: mixing -perf-quick and full snapshots")
+	}
+	fmt.Printf("compare: %d metrics, %d regression(s) (ns/op limit +%g%%, alloc limit +%g%%)\n",
+		len(rows), regressions, nsPct, allocPct)
+	if regressions > 0 {
+		return 1
+	}
+	return 0
+}

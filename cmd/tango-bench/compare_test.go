@@ -1,0 +1,73 @@
+package main
+
+import "testing"
+
+func baseSnap() *perfSnapshot {
+	return &perfSnapshot{
+		Schema:     "tango.perf-snapshot/v1",
+		SolverNsOp: 1000, DinicNsOp: 500,
+		EngineEventNs: 2000, CgroupResizeNsOp: 100,
+		SolverPhases: []phaseRow{
+			{Phase: "solve/mcnf", Calls: 10, NsOp: 900, BytesOp: 4096, AllocsOp: 8},
+		},
+		EnginePhases: []phaseRow{
+			{Phase: "engine/dispatch", Calls: 20, NsOp: 1500, BytesOp: 1024, AllocsOp: 4},
+		},
+	}
+}
+
+func countRegressions(rows []compareRow) (n int, names []string) {
+	for _, r := range rows {
+		if r.Regressed {
+			n++
+			names = append(names, r.Metric)
+		}
+	}
+	return
+}
+
+func TestCompareIdenticalSnapshotsClean(t *testing.T) {
+	rows := compareSnapshots(baseSnap(), baseSnap(), 25, 10)
+	if n, names := countRegressions(rows); n != 0 {
+		t.Fatalf("self compare regressed: %v", names)
+	}
+	if len(rows) != 4+2*3 {
+		t.Fatalf("row count = %d, want 10", len(rows))
+	}
+}
+
+func TestCompareFlagsNsRegression(t *testing.T) {
+	ns := baseSnap()
+	ns.SolverNsOp = 1400 // +40% > 25% limit
+	rows := compareSnapshots(baseSnap(), ns, 25, 10)
+	n, names := countRegressions(rows)
+	if n != 1 || names[0] != "solver_ns_op" {
+		t.Fatalf("regressions = %v, want [solver_ns_op]", names)
+	}
+	// Same delta under a looser limit is clean.
+	if n, _ := countRegressions(compareSnapshots(baseSnap(), ns, 50, 10)); n != 0 {
+		t.Fatalf("regression flagged despite +50%% limit")
+	}
+}
+
+func TestComparePhaseAllocRegression(t *testing.T) {
+	ns := baseSnap()
+	ns.EnginePhases[0].BytesOp = 1200 // +17% > 10% alloc limit
+	rows := compareSnapshots(baseSnap(), ns, 25, 10)
+	n, names := countRegressions(rows)
+	if n != 1 || names[0] != "engine:engine/dispatch bytes_op" {
+		t.Fatalf("regressions = %v, want the dispatch bytes_op row", names)
+	}
+}
+
+func TestCompareImprovementAndMissingSidesNeverRegress(t *testing.T) {
+	ns := baseSnap()
+	ns.SolverNsOp = 100                                             // big improvement
+	ns.EnginePhases = append(ns.EnginePhases, phaseRow{Phase: "x"}) // phase only in new
+	old := baseSnap()
+	old.SolverPhases = append(old.SolverPhases, phaseRow{Phase: "y"}) // phase only in old
+	old.CgroupResizeNsOp = 0                                          // metric absent in old
+	if n, names := countRegressions(compareSnapshots(old, ns, 25, 10)); n != 0 {
+		t.Fatalf("improvement/missing rows regressed: %v", names)
+	}
+}

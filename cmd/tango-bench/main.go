@@ -16,9 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime/pprof"
 	"time"
 
+	"repro/cmd/internal/profcli"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -32,12 +32,25 @@ func main() {
 		traceOut = flag.String("trace", "", "write lifecycle events of every run as NDJSON to this file")
 		report   = flag.String("report", "", "write a suite report (JSON) to this file")
 		perfDir  = flag.String("perf", "", "write a BENCH_<date>.json perf snapshot into this directory and exit (combine with -exp to also run experiments)")
+		quick    = flag.Bool("perf-quick", false, "with -perf: shrink timing budgets for a fast, lower-fidelity snapshot")
+		compare  = flag.Bool("compare", false, "compare two perf snapshots (usage: tango-bench -compare old.json new.json); exit 1 on regression")
+		nsPct    = flag.Float64("threshold", 25, "with -compare: allowed ns/op growth in percent")
+		allocPct = flag.Float64("alloc-threshold", 10, "with -compare: allowed bytes/op and allocs/op growth in percent")
 		profile  = flag.String("pprof", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: tango-bench -compare old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *nsPct, *allocPct))
+	}
+
 	if *perfDir != "" {
-		path, err := writePerfSnapshot(*perfDir, *seed)
+		path, err := writePerfSnapshot(*perfDir, *seed, *quick)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -104,19 +117,16 @@ func main() {
 		wsink = obs.NewWriterSink(f)
 		cfg.TraceSink = wsink
 	}
-	if *profile != "" {
-		f, err := os.Create(*profile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
+	stopProf, err := profcli.Start(*profile, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	// Suite report: one entry per experiment, with the machine-readable
 	// values each Result exposes and the wall time it took.

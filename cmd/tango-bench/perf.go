@@ -8,17 +8,22 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/cgroup"
 	"repro/internal/core"
 	"repro/internal/flow"
+	"repro/internal/perf"
+	"repro/internal/res"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
-// Perf snapshot: a small machine-readable baseline (BENCH_<date>.json)
-// so future optimization PRs have a trajectory to compare against. Two
+// Perf snapshot: a machine-readable baseline (BENCH_<date>.json) so
+// future optimization PRs have a trajectory to compare against. Three
 // hot paths are timed: the DSS-LC-shaped min-cost-flow solve (and the
-// Dinic max-flow on the same graph) and the end-to-end engine event
-// rate of a standard Tango run.
+// Dinic max-flow on the same graph), the end-to-end engine event rate
+// of a standard Tango run, and the cgroup two-level D-VPA resize. Each
+// section also carries the phase profiler's per-phase ns/op and
+// allocation breakdown, which is what `tango-bench -compare` diffs.
 
 type perfSnapshot struct {
 	Schema string `json:"schema"`
@@ -26,6 +31,7 @@ type perfSnapshot struct {
 	Go     string `json:"go"`
 	OSArch string `json:"os_arch"`
 	Seed   int64  `json:"seed"`
+	Quick  bool   `json:"quick,omitempty"`
 
 	// Solver: src -> master -> 200 workers -> sink, routing a 128-request
 	// batch, Reset+re-solve per iteration.
@@ -39,6 +45,44 @@ type perfSnapshot struct {
 	EngineEvents  uint64  `json:"engine_events"`
 	EngineEventNs float64 `json:"engine_event_ns"`
 	EngineWallMs  float64 `json:"engine_wall_ms"`
+
+	// Cgroup: one D-VPA ResizePodAndContainer (up to 4 ordered limit
+	// writes) alternating between two limit pairs.
+	CgroupResizeNsOp float64 `json:"cgroup_resize_ns_op"`
+
+	// Per-phase breakdowns from a profiled pass of each section (ns, bytes
+	// and objects per Enter/Exit pair). The profiled pass is separate from
+	// the ns/op timing loops above, so those stay profiler-overhead-free.
+	SolverPhases []phaseRow `json:"solver_phases,omitempty"`
+	EnginePhases []phaseRow `json:"engine_phases,omitempty"`
+	CgroupPhases []phaseRow `json:"cgroup_phases,omitempty"`
+}
+
+// phaseRow is one phase of a profiled section, normalized per call.
+type phaseRow struct {
+	Phase    string  `json:"phase"`
+	Calls    uint64  `json:"calls"`
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  float64 `json:"bytes_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// phaseRows renders the non-empty phases of a profiler.
+func phaseRows(p *perf.Profiler) []phaseRow {
+	var out []phaseRow
+	for _, s := range p.Snapshot() {
+		if s.Calls == 0 {
+			continue
+		}
+		out = append(out, phaseRow{
+			Phase:    s.Phase,
+			Calls:    s.Calls,
+			NsOp:     float64(s.TotalNs) / float64(s.Calls),
+			BytesOp:  float64(s.AllocBytes) / float64(s.Calls),
+			AllocsOp: float64(s.AllocObjects) / float64(s.Calls),
+		})
+	}
+	return out
 }
 
 // perfGraph builds the DSS-LC routing shape used by the solver timings.
@@ -56,8 +100,8 @@ func perfGraph(workers int, batch int64) (*flow.Graph, int, int) {
 }
 
 // timeOp reports ns/op for fn, self-scaling the iteration count until
-// at least 50 ms of work was measured.
-func timeOp(fn func()) float64 {
+// at least `budget` of work was measured.
+func timeOp(budget time.Duration, fn func()) float64 {
 	iters := 1
 	for {
 		start := time.Now()
@@ -65,51 +109,126 @@ func timeOp(fn func()) float64 {
 			fn()
 		}
 		elapsed := time.Since(start)
-		if elapsed >= 50*time.Millisecond || iters >= 1<<20 {
+		if elapsed >= budget || iters >= 1<<20 {
 			return float64(elapsed.Nanoseconds()) / float64(iters)
 		}
 		iters *= 4
 	}
 }
 
-func writePerfSnapshot(dir string, seed int64) (string, error) {
+// cgroupMicro builds a hierarchy with one burstable pod+container and
+// returns a closure performing one alternating two-level resize.
+func cgroupMicro() (func(), *cgroup.Hierarchy, error) {
+	h := cgroup.NewHierarchy(res.V(64000, 262144, 0))
+	pod, err := h.CreatePod(cgroup.Burstable, "bench-pod", cgroup.FromVector(res.V(4000, 4096, 0)))
+	if err != nil {
+		return nil, nil, err
+	}
+	cont, err := h.CreateContainer(pod, "bench-cont", cgroup.FromVector(res.V(2000, 2048, 0)))
+	if err != nil {
+		return nil, nil, err
+	}
+	big := [2]cgroup.Limits{cgroup.FromVector(res.V(4000, 4096, 0)), cgroup.FromVector(res.V(3000, 3072, 0))}
+	small := [2]cgroup.Limits{cgroup.FromVector(res.V(2000, 2048, 0)), cgroup.FromVector(res.V(1000, 1024, 0))}
+	i := 0
+	return func() {
+		var podL, contL cgroup.Limits
+		if i%2 == 0 {
+			podL, contL = small[0], small[1]
+		} else {
+			podL, contL = big[0], big[1]
+		}
+		i++
+		if err := h.ResizePodAndContainer(pod, cont, podL, contL); err != nil {
+			panic(err)
+		}
+	}, h, nil
+}
+
+func writePerfSnapshot(dir string, seed int64, quick bool) (string, error) {
 	const workers, batch = 200, 128
+	budget := 50 * time.Millisecond
+	profIters := 64
+	engineDur, engineRun := 8*time.Second, 10*time.Second
+	if quick {
+		budget = 10 * time.Millisecond
+		profIters = 8
+		engineDur, engineRun = 2*time.Second, 3*time.Second
+	}
 	snap := perfSnapshot{
 		Schema:        "tango.perf-snapshot/v1",
 		Date:          time.Now().Format("2006-01-02"),
 		Go:            runtime.Version(),
 		OSArch:        runtime.GOOS + "/" + runtime.GOARCH,
 		Seed:          seed,
+		Quick:         quick,
 		SolverWorkers: workers, SolverBatch: batch,
 	}
 
 	g, src, sink := perfGraph(workers, batch)
-	snap.SolverNsOp = timeOp(func() {
+	snap.SolverNsOp = timeOp(budget, func() {
 		g.MinCostFlow(src, sink, batch)
 		g.Reset()
 	})
-	snap.DinicNsOp = timeOp(func() {
+	snap.DinicNsOp = timeOp(budget, func() {
 		g.MaxFlowDinic(src, sink)
 		g.Reset()
 	})
 
+	// Profiled solver pass (separate graph so the timing loops above stay
+	// free of profiler overhead).
+	sp := perf.New()
+	pg, psrc, psink := perfGraph(workers, batch)
+	pg.SetProfiler(sp)
+	for i := 0; i < profIters; i++ {
+		pg.MinCostFlow(psrc, psink, batch)
+		pg.Reset()
+		pg.MaxFlowDinic(psrc, psink)
+		pg.Reset()
+	}
+	snap.SolverPhases = phaseRows(sp)
+
+	// Engine run, profiled: phase breakdown rides along and its overhead
+	// (two runtime/metrics reads per phase) is part of the measured rate,
+	// identically in baseline and candidate snapshots.
 	tp := topo.PhysicalTestbed()
 	var clusters []topo.ClusterID
 	for _, c := range tp.Clusters {
 		clusters = append(clusters, c.ID)
 	}
-	gen := trace.DefaultGenConfig(clusters, trace.P3, 8*time.Second, seed)
+	gen := trace.DefaultGenConfig(clusters, trace.P3, engineDur, seed)
 	reqs := trace.Generate(gen)
-	sys := core.New(core.Tango(tp, seed))
+	opts := core.Tango(tp, seed)
+	ep := perf.New()
+	opts.Profiler = ep
+	sys := core.New(opts)
 	sys.Inject(reqs)
 	start := time.Now()
-	sys.Run(10 * time.Second)
+	sys.Run(engineRun)
 	wall := time.Since(start)
 	snap.EngineEvents = sys.Sim.Fired()
 	snap.EngineWallMs = float64(wall) / float64(time.Millisecond)
 	if snap.EngineEvents > 0 {
 		snap.EngineEventNs = float64(wall.Nanoseconds()) / float64(snap.EngineEvents)
 	}
+	snap.EnginePhases = phaseRows(ep)
+
+	// Cgroup D-VPA resize micro.
+	resize, _, err := cgroupMicro()
+	if err != nil {
+		return "", err
+	}
+	snap.CgroupResizeNsOp = timeOp(budget, resize)
+	cp := perf.New()
+	presize, ph, err := cgroupMicro()
+	if err != nil {
+		return "", err
+	}
+	ph.SetProfiler(cp)
+	for i := 0; i < profIters; i++ {
+		presize()
+	}
+	snap.CgroupPhases = phaseRows(cp)
 
 	path := filepath.Join(dir, "BENCH_"+snap.Date+".json")
 	f, err := os.Create(path)
@@ -125,7 +244,7 @@ func writePerfSnapshot(dir string, seed int64) (string, error) {
 	if err := f.Close(); err != nil {
 		return "", err
 	}
-	fmt.Printf("perf: solver %.0f ns/op, dinic %.0f ns/op, engine %.0f ns/event (%d events)\n",
-		snap.SolverNsOp, snap.DinicNsOp, snap.EngineEventNs, snap.EngineEvents)
+	fmt.Printf("perf: solver %.0f ns/op, dinic %.0f ns/op, engine %.0f ns/event (%d events), cgroup resize %.0f ns/op\n",
+		snap.SolverNsOp, snap.DinicNsOp, snap.EngineEventNs, snap.EngineEvents, snap.CgroupResizeNsOp)
 	return path, nil
 }

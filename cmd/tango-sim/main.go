@@ -14,13 +14,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime/pprof"
 	"time"
 
+	"repro/cmd/internal/profcli"
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
@@ -42,6 +43,8 @@ func main() {
 		digest   = flag.Bool("digest", false, "print the replay digests (trace stream + normalized report)")
 		verify   = flag.Bool("verify", false, "run invariant sweeps and flow-solve cross-checks; exit 1 on any violation")
 		profile  = flag.String("pprof", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		perfOn   = flag.Bool("perf", false, "profile solver/engine/cgroup phases and Go runtime health; prints a phase table (excluded from -digest)")
 	)
 	flag.Parse()
 
@@ -128,24 +131,28 @@ func main() {
 	}
 	opts.TraceTag = *system
 	opts.Verify = *verify
+	var prof *perf.Profiler
+	if *perfOn {
+		prof = perf.New()
+		// Label CPU samples by phase when both profiles are requested.
+		prof.SetLabels(*profile != "")
+		opts.Profiler = prof
+	}
 
 	fmt.Printf("system=%s pattern=%s clusters=%d workers=%d requests=%d (LC %d / BE %d)\n",
 		*system, pat, len(tp.Clusters), len(tp.Nodes)-len(tp.Clusters), len(reqs),
 		countClass(reqs, trace.LC), countClass(reqs, trace.BE))
 
-	if *profile != "" {
-		f, err := os.Create(*profile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
+	stopProf, err := profcli.Start(*profile, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	start := time.Now()
 	sys := core.New(opts)
@@ -205,6 +212,18 @@ func main() {
 	tb.AddRowF("virtual time simulated", *duration+*drain)
 	tb.AddRowF("wall time", elapsed.Round(time.Millisecond))
 	fmt.Println(tb.String())
+
+	if prof != nil {
+		pt := metrics.NewTable("perf phases (host wall clock)",
+			"phase", "calls", "total", "self", "alloc", "objects")
+		for _, ps := range prof.Snapshot() {
+			pt.AddRowF(ps.Phase, ps.Calls,
+				time.Duration(ps.TotalNs).Round(time.Microsecond),
+				time.Duration(ps.SelfNs).Round(time.Microsecond),
+				ps.AllocBytes, ps.AllocObjects)
+		}
+		fmt.Println(pt.String())
+	}
 
 	if *series {
 		m := sys.Metrics

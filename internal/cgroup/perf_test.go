@@ -1,0 +1,51 @@
+package cgroup
+
+import (
+	"testing"
+
+	"repro/internal/perf"
+	"repro/internal/res"
+)
+
+// Every limit write — including the up-to-four nested writes of one
+// ordered two-level resize — lands in the cgroup/reconcile phase, and
+// re-entrant nesting under ResizePodAndContainer never double-counts
+// inclusive time.
+func TestSetLimitsChargesReconcilePhase(t *testing.T) {
+	h := NewHierarchy(res.V(16000, 32768, 0))
+	p := perf.New()
+	h.SetProfiler(p)
+
+	pod, err := h.CreatePod(Burstable, "pod", FromVector(res.V(4000, 4096, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, err := h.CreateContainer(pod, "c0", FromVector(res.V(2000, 2048, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := h.SetLimits(cont, FromVector(res.V(1000, 1024, 0))); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats(perf.PhaseCgroupReconcile)
+	if st.Calls != 1 || st.TotalNs <= 0 {
+		t.Fatalf("after one SetLimits: %+v", st)
+	}
+
+	before := st.Calls
+	if err := h.ResizePodAndContainer(pod, cont,
+		FromVector(res.V(6000, 6144, 0)), FromVector(res.V(3000, 3072, 0))); err != nil {
+		t.Fatal(err)
+	}
+	st = p.Stats(perf.PhaseCgroupReconcile)
+	if st.Calls <= before {
+		t.Fatalf("resize recorded no reconcile calls: %+v", st)
+	}
+	if p.OpenDepth() != 0 {
+		t.Fatalf("reconcile frames left open: %d", p.OpenDepth())
+	}
+	if st.SelfNs > st.TotalNs {
+		t.Fatalf("self %dns exceeds total %dns (re-entrant double count)", st.SelfNs, st.TotalNs)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/hrm"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/state"
@@ -97,6 +98,14 @@ type Options struct {
 	// cross-checks flow conservation after every DSS-LC min-cost-flow
 	// solve. Violations are recorded, not fatal; read System.Verifier.
 	Verify bool
+
+	// Profiler, when non-nil, enables phase profiling: the DSS-LC solve
+	// stages, the dispatcher rounds, admission checks and the collector
+	// tick are timed (wall clock and allocation deltas), the collector
+	// samples Go runtime/metrics into perf_*-prefixed registry gauges,
+	// and the run report gains a "perf" section. All of it is stripped by
+	// obs.ReportDigest, so profiling never perturbs replay digests.
+	Profiler *perf.Profiler
 }
 
 // Tango returns the full Tango configuration over a topology.
@@ -186,6 +195,7 @@ func New(o Options) *System {
 		OnOutcome:       s.onOutcome,
 		OnDisplaced:     s.redispatch,
 		Tracer:          s.Tracer,
+		Prof:            o.Profiler,
 	})
 	if o.MakeLC == nil {
 		o.MakeLC = func(e *engine.Engine, seed int64) any { return dsslc.New(e, seed) }
@@ -197,6 +207,7 @@ func New(o Options) *System {
 	s.beSched = o.MakeBE(s.Engine, o.Seed+1)
 	if lc, ok := s.lcSched.(*dsslc.Scheduler); ok {
 		lc.Tracer = s.Tracer
+		lc.Prof = o.Profiler
 		lc.OnDecision = func(d obs.Decision) { s.SLO.NoteDecision(d.ID, d.At) }
 	}
 	if o.Verify {
@@ -350,6 +361,8 @@ func (s *System) Run(until time.Duration) {
 
 // dispatch is one dispatcher round over all LC queues and the BE queue.
 func (s *System) dispatch() {
+	s.opts.Profiler.Enter(perf.PhaseEngineDispatch)
+	defer s.opts.Profiler.Exit(perf.PhaseEngineDispatch)
 	// LC: each master dispatches its own queue (distributed decisions).
 	for _, c := range s.Topo.Clusters {
 		q := s.lcQueues[c.ID]
@@ -462,6 +475,15 @@ type Collector struct {
 	latencyHists   map[trace.TypeID]*obs.Histogram
 	nodeGauges     []nodeGauges
 
+	// Performance observability (nil unless Options.Profiler was set):
+	// each tick samples Go runtime/metrics into perf_* gauges, which the
+	// scrape then turns into period-aligned series like any other metric.
+	prof          *perf.Profiler
+	harvester     *perf.Harvester
+	runtimeGauges map[string]*obs.Gauge
+	lastRuntime   perf.RuntimeSample
+	rtSampled     bool
+
 	// Per-period scratch counters.
 	pLCArr, pBEArr       int64
 	pLCSat, pLCDone      int64
@@ -507,7 +529,14 @@ func NewCollector(period time.Duration) *Collector {
 }
 
 // Bind attaches the collector to a system (for utilization sampling).
-func (c *Collector) Bind(s *System) { c.sys = s }
+func (c *Collector) Bind(s *System) {
+	c.sys = s
+	if p := s.opts.Profiler; p.Enabled() {
+		c.prof = p
+		c.harvester = perf.NewHarvester()
+		c.runtimeGauges = map[string]*obs.Gauge{}
+	}
+}
 
 // Registry exposes the labeled metric registry.
 func (c *Collector) Registry() *obs.Registry { return c.registry }
@@ -589,6 +618,8 @@ func (c *Collector) observe(o engine.Outcome) {
 
 // tick closes one collection period.
 func (c *Collector) tick() {
+	c.prof.Enter(perf.PhaseEngineCollect)
+	defer c.prof.Exit(perf.PhaseEngineCollect)
 	c.UtilSeries.Append(c.sys.Utilization())
 	lc, be := c.sys.UtilizationSplit()
 	c.LCUtilSeries.Append(lc)
@@ -609,7 +640,27 @@ func (c *Collector) tick() {
 	c.pLCArr, c.pBEArr, c.pLCSat, c.pLCDone, c.pBEDone, c.pAbandoned = 0, 0, 0, 0, 0, 0
 	c.latencies = c.latencies[:0]
 	c.updateNodeGauges()
+	c.sampleRuntime()
 	c.scrape()
+}
+
+// sampleRuntime reads the Go runtime/metrics harvester into perf_*
+// gauges so heap, GC and scheduler health ride the same scrape path as
+// every simulation metric. No-op when profiling is off.
+func (c *Collector) sampleRuntime() {
+	if c.harvester == nil {
+		return
+	}
+	c.lastRuntime = c.harvester.Sample()
+	c.rtSampled = true
+	for k, v := range c.lastRuntime.Map() {
+		g, ok := c.runtimeGauges[k]
+		if !ok {
+			g = c.registry.Gauge(k, obs.Labels{})
+			c.runtimeGauges[k] = g
+		}
+		g.Set(v)
+	}
 }
 
 // updateNodeGauges refreshes the per-node labeled gauges from live
@@ -793,6 +844,13 @@ func (s *System) Report(name string, wall time.Duration) *obs.Report {
 	for key, ser := range m.RegistrySeries {
 		series[key] = ser.Values
 	}
+	var perfSec *obs.PerfSection
+	if p := s.opts.Profiler; p.Enabled() {
+		perfSec = &obs.PerfSection{Phases: p.ReportPhases()}
+		if m.rtSampled {
+			perfSec.Runtime = m.lastRuntime.Map()
+		}
+	}
 	return &obs.Report{
 		Schema:       obs.ReportSchema,
 		System:       name,
@@ -820,6 +878,7 @@ func (s *System) Report(name string, wall time.Duration) *obs.Report {
 		EventCounts:     s.Tracer.Counts(),
 		SLO:             s.SLOSnapshot(),
 		Sink:            s.sinkStats(),
+		Perf:            perfSec,
 	}
 }
 

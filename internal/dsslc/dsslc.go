@@ -30,6 +30,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/flow"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/res"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -63,6 +64,12 @@ type Scheduler struct {
 	// cost) so verification runs cross-check the optimizer in situ
 	// without the scheduler importing the checker.
 	OnSolve func(g *flow.Graph, src, sink int, r flow.Result)
+
+	// Prof, when set, charges MCNF graph construction to the
+	// solve/graph-build phase and propagates into each solve graph so
+	// the Dijkstra/augmentation split inside flow.MinCostFlow is
+	// attributed too. Nil costs nothing.
+	Prof *perf.Profiler
 }
 
 // New creates a DSS-LC scheduler with the paper's 500 km geo radius.
@@ -165,7 +172,9 @@ func (s *Scheduler) ScheduleBatch(c topo.ClusterID, reqs []*engine.Request) Assi
 func (s *Scheduler) route(c topo.ClusterID, svc trace.TypeID, phase string, rs []*engine.Request, workers []*engine.Node, caps []int64, out Assignment) map[int]int64 {
 	t := s.Engine.Topology()
 	masterID := t.Cluster(c).Master
+	s.Prof.Enter(perf.PhaseSolveGraphBuild)
 	g := flow.NewGraph()
+	g.SetProfiler(s.Prof)
 	src := g.AddNode()
 	master := g.AddNode()
 	sink := g.AddNode()
@@ -191,6 +200,7 @@ func (s *Scheduler) route(c topo.ClusterID, svc trace.TypeID, phase string, rs [
 		edges[i] = g.AddEdge(master, wn, cap, delayUS)
 		g.AddEdge(wn, sink, cap, 0)
 	}
+	s.Prof.Exit(perf.PhaseSolveGraphBuild)
 	solved := g.MinCostFlow(src, sink, int64(len(rs)))
 	if s.OnSolve != nil {
 		s.OnSolve(g, src, sink, solved)

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/res"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -125,6 +126,9 @@ type Config struct {
 	// (dispatch, queue, start, finish, abandon, compress, evict, boost,
 	// fail, recover). Nil disables tracing at zero cost.
 	Tracer *obs.Tracer
+	// Prof, when set, charges every Policy.Admit call (arrival-time and
+	// queue-drain) to the engine/admission phase. Nil costs nothing.
+	Prof *perf.Profiler
 }
 
 // Engine owns all worker-node runtimes.
@@ -272,6 +276,18 @@ func (e *Engine) DispatchLocal(r *Request, target topo.NodeID) {
 	n.arrive(r)
 }
 
+// admit runs the policy's admission decision under the engine/admission
+// perf phase.
+func (n *Node) admit(r *Request) (res.Vector, bool) {
+	if p := n.eng.cfg.Prof; p != nil {
+		p.Enter(perf.PhaseEngineAdmission)
+		alloc, ok := n.eng.cfg.Policy.Admit(n, r)
+		p.Exit(perf.PhaseEngineAdmission)
+		return alloc, ok
+	}
+	return n.eng.cfg.Policy.Admit(n, r)
+}
+
 func (n *Node) arrive(r *Request) {
 	if n.down {
 		n.eng.displace([]*Request{r})
@@ -279,7 +295,7 @@ func (n *Node) arrive(r *Request) {
 	}
 	now := n.eng.cfg.Sim.Now()
 	r.enqueuedAt = now
-	if alloc, ok := n.eng.cfg.Policy.Admit(n, r); ok {
+	if alloc, ok := n.admit(r); ok {
 		n.start(r, alloc)
 		return
 	}
@@ -452,7 +468,7 @@ func (n *Node) drain() {
 		progress = false
 		if len(n.queueLC) > 0 {
 			r := n.queueLC[0]
-			if alloc, ok := n.eng.cfg.Policy.Admit(n, r); ok {
+			if alloc, ok := n.admit(r); ok {
 				n.queueLC = n.queueLC[1:]
 				n.start(r, alloc)
 				progress = true
@@ -461,7 +477,7 @@ func (n *Node) drain() {
 		}
 		if len(n.queueBE) > 0 {
 			r := n.queueBE[0]
-			if alloc, ok := n.eng.cfg.Policy.Admit(n, r); ok {
+			if alloc, ok := n.admit(r); ok {
 				n.queueBE = n.queueBE[1:]
 				n.start(r, alloc)
 				progress = true

@@ -1,5 +1,7 @@
 package flow
 
+import "repro/internal/perf"
+
 // Dinic's algorithm: a faster pure max-flow solver used when costs do
 // not matter (e.g. the feasibility probe "can this batch be placed at
 // all?" before a full min-cost solve). It operates on the same Graph and
@@ -16,6 +18,9 @@ func (g *Graph) MaxFlowDinic(source, sink int) int64 {
 	if source == sink {
 		return 0
 	}
+	prof := g.prof
+	prof.Enter(perf.PhaseSolveDinic)
+	defer prof.Exit(perf.PhaseSolveDinic)
 	level := make([]int, n)
 	iter := make([]int, n)
 	queue := make([]int, 0, n)

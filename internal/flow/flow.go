@@ -11,6 +11,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"repro/internal/perf"
 )
 
 // EdgeID identifies an added edge for flow queries.
@@ -27,10 +29,16 @@ type arc struct {
 type Graph struct {
 	adj   [][]arc
 	edges []struct{ from, idx int } // maps EdgeID -> arc location
+	prof  *perf.Profiler
 }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph { return &Graph{} }
+
+// SetProfiler attaches a phase profiler: subsequent solves charge their
+// Dijkstra searches, augmentations and Dinic passes to the solve/*
+// phases. A nil profiler (the default) costs nothing.
+func (g *Graph) SetProfiler(p *perf.Profiler) { g.prof = p }
 
 // AddNode creates a node and returns its index.
 func (g *Graph) AddNode() int {
@@ -110,6 +118,9 @@ func (g *Graph) MinCostFlow(source, sink int, maxFlow int64) Result {
 	if source == sink {
 		return Result{}
 	}
+	prof := g.prof
+	prof.Enter(perf.PhaseSolveMCNF)
+	defer prof.Exit(perf.PhaseSolveMCNF)
 	const inf = math.MaxInt64 / 4
 	potential := make([]int64, n)
 	dist := make([]int64, n)
@@ -118,7 +129,8 @@ func (g *Graph) MinCostFlow(source, sink int, maxFlow int64) Result {
 	var total Result
 
 	for total.Flow < maxFlow {
-		// Dijkstra on reduced costs.
+		// Dijkstra on reduced costs (the Johnson-potential search).
+		prof.Enter(perf.PhaseSolveDijkstra)
 		for i := range dist {
 			dist[i] = inf
 			prevNode[i] = -1
@@ -145,9 +157,13 @@ func (g *Graph) MinCostFlow(source, sink int, maxFlow int64) Result {
 				}
 			}
 		}
+		prof.Exit(perf.PhaseSolveDijkstra)
 		if dist[sink] >= inf {
 			break // no augmenting path
 		}
+		// SSP augmentation: fold distances into the potentials, find the
+		// bottleneck and push flow along the shortest path.
+		prof.Enter(perf.PhaseSolveAugment)
 		for i := 0; i < n; i++ {
 			if dist[i] < inf {
 				potential[i] += dist[i]
@@ -170,6 +186,7 @@ func (g *Graph) MinCostFlow(source, sink int, maxFlow int64) Result {
 			total.Cost += push * a.cost
 		}
 		total.Flow += push
+		prof.Exit(perf.PhaseSolveAugment)
 	}
 	return total
 }

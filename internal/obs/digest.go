@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash"
+	"strings"
 )
 
 // Replay digests.
@@ -99,15 +100,21 @@ func (s *DigestSink) Sum() string { return hex.EncodeToString(s.h.Sum(nil)) }
 
 // ReportDigest hashes a run report into a stable hex digest after
 // normalizing the fields that are allowed to differ between replays of
-// the same scenario+seed: WallMs measures host speed, and SinkStats
-// describe the sink that happened to be attached, not the run itself.
+// the same scenario+seed: WallMs measures host speed, SinkStats
+// describe the sink that happened to be attached, and the entire perf
+// surface (the Perf section plus every PerfMetricPrefix-ed metric and
+// series) measures the host's clock and allocator, not the run.
 // Everything else — Phi, class stats, series, registry samples, event
 // counts, SLO accounting — must be byte-identical for the digest to
-// match, which is exactly the replay contract.
+// match, which is exactly the replay contract. A run profiled with
+// internal/perf therefore digests identically to an unprofiled one.
 func ReportDigest(r *Report) string {
 	cp := *r
 	cp.WallMs = 0
 	cp.Sink = nil
+	cp.Perf = nil
+	cp.Series = stripPerfSeries(cp.Series)
+	cp.Metrics = stripPerfMetrics(cp.Metrics)
 	if cp.Schema == "" {
 		cp.Schema = ReportSchema
 	}
@@ -119,4 +126,48 @@ func ReportDigest(r *Report) string {
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
+}
+
+// stripPerfSeries returns the series map without PerfMetricPrefix-ed
+// keys, copying only when something must be removed (the input is the
+// live report's map and must not be mutated).
+func stripPerfSeries(in map[string][]float64) map[string][]float64 {
+	drop := 0
+	for k := range in {
+		if strings.HasPrefix(k, PerfMetricPrefix) {
+			drop++
+		}
+	}
+	if drop == 0 {
+		return in
+	}
+	out := make(map[string][]float64, len(in)-drop)
+	for k, v := range in {
+		if !strings.HasPrefix(k, PerfMetricPrefix) {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// stripPerfMetrics filters PerfMetricPrefix-ed samples out of the final
+// registry scrape, preserving order.
+func stripPerfMetrics(in []MetricSample) []MetricSample {
+	keep := true
+	for _, m := range in {
+		if strings.HasPrefix(m.Name, PerfMetricPrefix) {
+			keep = false
+			break
+		}
+	}
+	if keep {
+		return in
+	}
+	out := make([]MetricSample, 0, len(in))
+	for _, m := range in {
+		if !strings.HasPrefix(m.Name, PerfMetricPrefix) {
+			out = append(out, m)
+		}
+	}
+	return out
 }

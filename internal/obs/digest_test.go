@@ -102,3 +102,39 @@ func TestReportDigestNormalizesWallClock(t *testing.T) {
 		t.Fatal("phi change did not change report digest")
 	}
 }
+
+func TestReportDigestStripsPerfData(t *testing.T) {
+	mk := func() *Report {
+		return &Report{
+			System: "tango", ConfigDigest: "abc",
+			VirtualMs: 1000, Phi: 0.97,
+			Series:      map[string][]float64{"phi": {1, 0.97}},
+			Metrics:     []MetricSample{{Name: "tango_requests_arrived_total", Value: 10}},
+			EventCounts: map[string]uint64{"arrival": 10},
+		}
+	}
+	base := ReportDigest(mk())
+
+	// Perf section, perf_-prefixed metrics and perf_-prefixed series are
+	// host wall-clock facts: none may perturb the digest.
+	r := mk()
+	r.Perf = &PerfSection{
+		Phases:  []PhasePerf{{Phase: "solve/mcnf", Calls: 3, TotalNs: 12345}},
+		Runtime: map[string]float64{"perf_goroutines": 9},
+	}
+	r.Series[PerfMetricPrefix+"heap_live_bytes"] = []float64{1, 2, 3}
+	r.Metrics = append(r.Metrics, MetricSample{Name: PerfMetricPrefix + "goroutines", Value: 9})
+	if got := ReportDigest(r); got != base {
+		t.Fatalf("perf data leaked into report digest: %s vs %s", got, base)
+	}
+	// Stripping must not mutate the live report.
+	if r.Perf == nil || len(r.Series) != 2 || len(r.Metrics) != 2 {
+		t.Fatal("ReportDigest mutated the report it was given")
+	}
+	// A non-perf metric still changes the digest.
+	r2 := mk()
+	r2.Metrics = append(r2.Metrics, MetricSample{Name: "tango_lc_satisfied_total", Value: 1})
+	if ReportDigest(r2) == base {
+		t.Fatal("non-perf metric change did not change report digest")
+	}
+}

@@ -55,6 +55,40 @@ type Report struct {
 
 	SLO  []SLOReport `json:"slo,omitempty"`  // per-service SLO accounting
 	Sink *SinkStats  `json:"sink,omitempty"` // trace-sink health
+
+	// Perf is the performance-observability section (internal/perf):
+	// per-phase wall time and allocation breakdowns plus a final Go
+	// runtime sample. Everything in it is host-measured, so it is
+	// normalized away by ReportDigest (see PerfMetricPrefix).
+	Perf *PerfSection `json:"perf,omitempty"`
+}
+
+// PerfMetricPrefix marks registry metrics (and therefore report series)
+// that carry wall-clock or allocator measurements of the host. They are
+// allowed to differ between replays of the same scenario+seed, so
+// ReportDigest strips every metric and series whose name starts with
+// this prefix, alongside the Perf section itself.
+const PerfMetricPrefix = "perf_"
+
+// PhasePerf is one row of the per-phase breakdown: cumulative wall time
+// (inclusive and exclusive of nested phases) and exclusive heap
+// allocation deltas for one instrumented phase.
+type PhasePerf struct {
+	Phase        string `json:"phase"`
+	Calls        uint64 `json:"calls"`
+	TotalNs      int64  `json:"total_ns"`
+	SelfNs       int64  `json:"self_ns"`
+	AllocBytes   uint64 `json:"alloc_bytes"`
+	AllocObjects uint64 `json:"alloc_objects"`
+}
+
+// PerfSection is the run report's perf section. Phases always lists the
+// full phase enum (solver, engine and cgroup phases) so the breakdown
+// shape is stable; Runtime is the final Go runtime sample keyed by the
+// perf_* metric names whose per-period series appear under Series.
+type PerfSection struct {
+	Phases  []PhasePerf        `json:"phases,omitempty"`
+	Runtime map[string]float64 `json:"runtime,omitempty"`
 }
 
 // SinkStats reports trace-sink health: how much was recorded and, for

@@ -1,0 +1,142 @@
+package perf
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// Harvester samples the Go runtime's own health metrics — heap size,
+// allocation totals, GC activity and pauses, goroutine count and
+// scheduler latency — so the 800 ms collector can record the *host*
+// cost of a run next to the simulated workload series. Like every perf
+// value, harvested samples are wall-clock facts and are excluded from
+// the replay digests (they are published under obs.PerfMetricPrefix).
+type Harvester struct {
+	buf []metrics.Sample
+}
+
+// Harvested runtime metric keys, in buf order.
+const (
+	hHeapLive = iota
+	hAllocBytes
+	hAllocObjects
+	hGoroutines
+	hGCCycles
+	hGCPauses
+	hSchedLat
+	hCount
+)
+
+// NewHarvester prepares the sample buffer once; Sample then performs a
+// single allocation-free metrics.Read per call.
+func NewHarvester() *Harvester {
+	buf := make([]metrics.Sample, hCount)
+	buf[hHeapLive].Name = "/memory/classes/heap/objects:bytes"
+	buf[hAllocBytes].Name = "/gc/heap/allocs:bytes"
+	buf[hAllocObjects].Name = "/gc/heap/allocs:objects"
+	buf[hGoroutines].Name = "/sched/goroutines:goroutines"
+	buf[hGCCycles].Name = "/gc/cycles/total:gc-cycles"
+	buf[hGCPauses].Name = "/gc/pauses:seconds"
+	buf[hSchedLat].Name = "/sched/latencies:seconds"
+	return &Harvester{buf: buf}
+}
+
+// RuntimeSample is one point-in-time reading. Counter-like fields
+// (AllocBytes, AllocObjects, GCCycles, GCPauseCount) are cumulative
+// since process start.
+type RuntimeSample struct {
+	HeapLiveBytes uint64 // live heap occupied by objects
+	AllocBytes    uint64 // cumulative allocated bytes
+	AllocObjects  uint64 // cumulative allocated objects
+	Goroutines    int64
+	GCCycles      uint64
+	GCPauseCount  uint64  // cumulative stop-the-world pauses
+	GCPauseP99Ns  float64 // p99 over all pauses so far
+	SchedLatP99Ns float64 // p99 goroutine scheduling latency so far
+}
+
+// Sample reads the runtime metrics once.
+func (h *Harvester) Sample() RuntimeSample {
+	metrics.Read(h.buf)
+	s := RuntimeSample{
+		HeapLiveBytes: h.buf[hHeapLive].Value.Uint64(),
+		AllocBytes:    h.buf[hAllocBytes].Value.Uint64(),
+		AllocObjects:  h.buf[hAllocObjects].Value.Uint64(),
+		Goroutines:    int64(h.buf[hGoroutines].Value.Uint64()),
+		GCCycles:      h.buf[hGCCycles].Value.Uint64(),
+	}
+	if ph := h.buf[hGCPauses].Value.Float64Histogram(); ph != nil {
+		s.GCPauseCount = histCount(ph)
+		s.GCPauseP99Ns = histQuantile(ph, 0.99) * 1e9
+	}
+	if lh := h.buf[hSchedLat].Value.Float64Histogram(); lh != nil {
+		s.SchedLatP99Ns = histQuantile(lh, 0.99) * 1e9
+	}
+	return s
+}
+
+// Map renders the sample keyed by the registry/report metric names
+// (prefixed so obs.ReportDigest can strip them).
+func (s RuntimeSample) Map() map[string]float64 {
+	return map[string]float64{
+		"perf_heap_live_bytes":      float64(s.HeapLiveBytes),
+		"perf_alloc_bytes_total":    float64(s.AllocBytes),
+		"perf_alloc_objects_total":  float64(s.AllocObjects),
+		"perf_goroutines":           float64(s.Goroutines),
+		"perf_gc_cycles_total":      float64(s.GCCycles),
+		"perf_gc_pauses_total":      float64(s.GCPauseCount),
+		"perf_gc_pause_p99_ns":      s.GCPauseP99Ns,
+		"perf_sched_latency_p99_ns": s.SchedLatP99Ns,
+	}
+}
+
+func histCount(h *metrics.Float64Histogram) uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// histQuantile estimates the q-th quantile of a runtime
+// Float64Histogram by linear interpolation within the containing
+// bucket. Buckets may open with -Inf and close with +Inf; those edges
+// clamp to the nearest finite bound. Returns 0 for an empty histogram.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	total := histCount(h)
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			return 0
+		case math.IsInf(lo, -1):
+			return hi
+		case math.IsInf(hi, 1):
+			return lo
+		}
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	// Numerical edge: fall back to the largest finite bound.
+	for i := len(h.Buckets) - 1; i >= 0; i-- {
+		if !math.IsInf(h.Buckets[i], 1) {
+			return h.Buckets[i]
+		}
+	}
+	return 0
+}

@@ -1,0 +1,82 @@
+package perf
+
+import (
+	"math"
+	"runtime/metrics"
+	"strings"
+	"testing"
+)
+
+func TestHarvesterSampleSanity(t *testing.T) {
+	h := NewHarvester()
+	s1 := h.Sample()
+	if s1.HeapLiveBytes == 0 {
+		t.Fatal("heap live bytes = 0 in a running process")
+	}
+	if s1.Goroutines < 1 {
+		t.Fatalf("goroutines = %d, want >= 1", s1.Goroutines)
+	}
+	// Allocate and re-sample: cumulative counters must be monotonic and
+	// must have moved past ~1MiB of fresh garbage.
+	var sink [][]byte
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 16*1024))
+	}
+	_ = sink
+	s2 := h.Sample()
+	if s2.AllocBytes < s1.AllocBytes+60*16*1024 {
+		t.Fatalf("alloc bytes %d -> %d, want growth >= ~1MiB", s1.AllocBytes, s2.AllocBytes)
+	}
+	if s2.AllocObjects < s1.AllocObjects {
+		t.Fatal("alloc objects went backwards")
+	}
+	if s2.GCCycles < s1.GCCycles || s2.GCPauseCount < s1.GCPauseCount {
+		t.Fatal("GC counters went backwards")
+	}
+	if s2.GCPauseP99Ns < 0 || s2.SchedLatP99Ns < 0 {
+		t.Fatalf("negative p99: pause=%g sched=%g", s2.GCPauseP99Ns, s2.SchedLatP99Ns)
+	}
+}
+
+func TestRuntimeSampleMapKeysArePrefixed(t *testing.T) {
+	m := RuntimeSample{HeapLiveBytes: 1, Goroutines: 2}.Map()
+	if len(m) != 8 {
+		t.Fatalf("map has %d keys, want 8", len(m))
+	}
+	for k := range m {
+		if !strings.HasPrefix(k, "perf_") {
+			t.Fatalf("key %q lacks the perf_ digest-exclusion prefix", k)
+		}
+	}
+	if m["perf_heap_live_bytes"] != 1 || m["perf_goroutines"] != 2 {
+		t.Fatalf("map values wrong: %v", m)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 10, 10, 0},
+		Buckets: []float64{math.Inf(-1), 0, 1, 2, math.Inf(1)},
+	}
+	if got := histQuantile(h, 0.5); got != 1 {
+		t.Fatalf("p50 = %g, want 1 (exact boundary)", got)
+	}
+	if got := histQuantile(h, 0.25); got != 0.5 {
+		t.Fatalf("p25 = %g, want 0.5 (mid first bucket)", got)
+	}
+	if got := histQuantile(h, 1); got != 2 {
+		t.Fatalf("p100 = %g, want 2", got)
+	}
+	// Mass in the +Inf bucket clamps to the last finite bound.
+	tail := &metrics.Float64Histogram{
+		Counts:  []uint64{1, 1},
+		Buckets: []float64{0, 1, math.Inf(1)},
+	}
+	if got := histQuantile(tail, 0.99); got != 1 {
+		t.Fatalf("p99 with +Inf bucket = %g, want clamp to 1", got)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if got := histQuantile(empty, 0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %g, want 0", got)
+	}
+}

@@ -1,0 +1,49 @@
+// Command benchmut doctors a perf snapshot for negative testing: it
+// multiplies one top-level numeric field by a factor and writes the
+// result, so bench_smoke.sh can prove `tango-bench -compare` actually
+// fails on a regression (not just passes on clean runs).
+//
+// Usage: benchmut -field solver_ns_op -scale 4 in.json out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	field := flag.String("field", "", "top-level numeric field to scale")
+	scale := flag.Float64("scale", 1, "multiplier applied to the field")
+	flag.Parse()
+	if *field == "" || flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchmut -field <name> -scale <f> in.json out.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fatal(err)
+	}
+	v, ok := doc[*field].(float64)
+	if !ok {
+		fatal(fmt.Errorf("field %q is not a number in %s", *field, flag.Arg(0)))
+	}
+	doc[*field] = v * *scale
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(flag.Arg(1), append(out, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchmut:", err)
+	os.Exit(1)
+}

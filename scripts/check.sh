@@ -25,4 +25,7 @@ go test -race -timeout 120m ./...
 echo "== replay smoke =="
 sh scripts/replay_smoke.sh
 
+echo "== bench smoke =="
+sh scripts/bench_smoke.sh
+
 echo "OK"

@@ -15,7 +15,7 @@ trap 'rm -rf "$out"' EXIT
 go build -o "$out/tango-sim" ./cmd/tango-sim
 
 run() {
-    "$out/tango-sim" -duration 4s -drain 2s -seed 7 -digest -verify \
+    "$out/tango-sim" -duration 4s -drain 2s -seed 7 -digest -verify "$@" \
         | grep '^digest:'
 }
 
@@ -30,4 +30,14 @@ if [ "$d1" != "$d2" ]; then
     echo "FAIL: same scenario+seed produced different digests" >&2
     exit 1
 fi
-echo "OK: replay digests identical"
+
+# Phase profiling measures host wall clock and allocations; none of it
+# may leak into the digests.
+echo "== replay digest (run 3, -perf) =="
+d3=$(run -perf)
+echo "$d3"
+if [ "$d1" != "$d3" ]; then
+    echo "FAIL: -perf instrumentation changed the digests" >&2
+    exit 1
+fi
+echo "OK: replay digests identical (with and without -perf)"
