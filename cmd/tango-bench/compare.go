@@ -35,10 +35,37 @@ func newRow(metric string, oldV, newV, thresholdPct float64) compareRow {
 	return r
 }
 
+// Allocation baselines of zero are meaningful — the solver hot path is
+// allocation-free by contract — so unlike wall-time rows they must not
+// be skipped as "missing". newAllocRow floors the old side (one alloc /
+// allocBytesFloor bytes) instead: a 0→N regression trips the gate,
+// while a new value at or below the floor stays quiet.
+const (
+	allocCountFloor = 1
+	allocBytesFloor = 64
+)
+
+func newAllocRow(metric string, oldV, newV, thresholdPct, floor float64) compareRow {
+	r := compareRow{Metric: metric, Old: oldV, New: newV, Threshold: thresholdPct}
+	base := oldV
+	if base < floor {
+		base = floor
+	}
+	switch {
+	case newV > base:
+		r.DeltaPct = (newV - base) / base * 100
+		r.Regressed = r.DeltaPct > thresholdPct
+	case oldV > 0 && newV > 0:
+		r.DeltaPct = (newV - oldV) / oldV * 100
+	}
+	return r
+}
+
 // compareSnapshots diffs every comparable metric of two snapshots.
 func compareSnapshots(oldS, newS *perfSnapshot, nsPct, allocPct float64) []compareRow {
 	rows := []compareRow{
 		newRow("solver_ns_op", oldS.SolverNsOp, newS.SolverNsOp, nsPct),
+		newRow("solver_warm_ns_op", oldS.SolverWarmNsOp, newS.SolverWarmNsOp, nsPct),
 		newRow("dinic_ns_op", oldS.DinicNsOp, newS.DinicNsOp, nsPct),
 		newRow("engine_event_ns", oldS.EngineEventNs, newS.EngineEventNs, nsPct),
 		newRow("cgroup_resize_ns_op", oldS.CgroupResizeNsOp, newS.CgroupResizeNsOp, nsPct),
@@ -64,8 +91,8 @@ func compareSnapshots(oldS, newS *perfSnapshot, nsPct, allocPct float64) []compa
 			prefix := sec.name + ":" + np.Phase
 			rows = append(rows,
 				newRow(prefix+" ns_op", op.NsOp, np.NsOp, nsPct),
-				newRow(prefix+" bytes_op", op.BytesOp, np.BytesOp, allocPct),
-				newRow(prefix+" allocs_op", op.AllocsOp, np.AllocsOp, allocPct),
+				newAllocRow(prefix+" bytes_op", op.BytesOp, np.BytesOp, allocPct, allocBytesFloor),
+				newAllocRow(prefix+" allocs_op", op.AllocsOp, np.AllocsOp, allocPct, allocCountFloor),
 			)
 		}
 	}

@@ -31,8 +31,37 @@ func TestCompareIdenticalSnapshotsClean(t *testing.T) {
 	if n, names := countRegressions(rows); n != 0 {
 		t.Fatalf("self compare regressed: %v", names)
 	}
-	if len(rows) != 4+2*3 {
-		t.Fatalf("row count = %d, want 10", len(rows))
+	if len(rows) != 5+2*3 {
+		t.Fatalf("row count = %d, want 11", len(rows))
+	}
+}
+
+// The allocation gate must catch regressions from a zero baseline: the
+// hot-path phases are allocation-free by contract, and "0 allocs" is a
+// real measurement, not a missing metric.
+func TestCompareZeroBaselineAllocRegression(t *testing.T) {
+	old := baseSnap()
+	old.SolverPhases[0].AllocsOp = 0
+	old.SolverPhases[0].BytesOp = 0
+	ns := baseSnap()
+	ns.SolverPhases[0].AllocsOp = 512
+	ns.SolverPhases[0].BytesOp = 16384
+	n, names := countRegressions(compareSnapshots(old, ns, 25, 10))
+	if n != 2 {
+		t.Fatalf("regressions = %v, want the mcnf allocs_op and bytes_op rows", names)
+	}
+	// Noise at or below the floor stays quiet...
+	ns.SolverPhases[0].AllocsOp = allocCountFloor
+	ns.SolverPhases[0].BytesOp = allocBytesFloor
+	if n, names := countRegressions(compareSnapshots(old, ns, 25, 10)); n != 0 {
+		t.Fatalf("floor-level allocs regressed: %v", names)
+	}
+	// ...and dropping to zero is an improvement, not a regression.
+	imp := baseSnap()
+	imp.SolverPhases[0].AllocsOp = 0
+	imp.SolverPhases[0].BytesOp = 0
+	if n, names := countRegressions(compareSnapshots(baseSnap(), imp, 25, 10)); n != 0 {
+		t.Fatalf("N -> 0 allocs regressed: %v", names)
 	}
 }
 

@@ -289,5 +289,126 @@ func DiffCheck(in Instance) error {
 			return fmt.Errorf("edge %d: flow %d after Reset re-solve, was %d", i, f, before[i])
 		}
 	}
+
+	return warmCheck(in, r, before)
+}
+
+// warmCheck is the warm-start half of the oracle: a workspace-backed
+// graph must produce bit-identical results — same Result, same per-edge
+// flows — whether the first Dijkstra pass is computed cold or replayed
+// from the memo, across Reset, across a Clear+rebuild period boundary,
+// and across capacity-magnitude changes that keep the open-arc pattern.
+func warmCheck(in Instance, cold flow.Result, coldFlows []int64) error {
+	gw, ids := in.Graph()
+	ws := flow.NewWorkspace()
+	gw.SetWorkspace(ws)
+	if gw.Warmed(in.Src) {
+		return fmt.Errorf("fresh workspace claims warm")
+	}
+	// First WarmStart is necessarily cold and captures the memo.
+	w1 := gw.WarmStart(in.Src, in.Sink, refUnbounded)
+	if w1 != cold {
+		return fmt.Errorf("workspace cold solve %+v != plain solve %+v", w1, cold)
+	}
+	for i := range ids {
+		if f := gw.Flow(ids[i]); f != coldFlows[i] {
+			return fmt.Errorf("edge %d: workspace cold flow %d, plain %d", i, f, coldFlows[i])
+		}
+	}
+	replay := func(stage string, g *flow.Graph, eids []flow.EdgeID, want flow.Result, wantFlows []int64, wantHits uint64) error {
+		if !g.Warmed(in.Src) {
+			return fmt.Errorf("%s: graph not warmed", stage)
+		}
+		r := g.WarmStart(in.Src, in.Sink, refUnbounded)
+		if ws.WarmHits != wantHits {
+			return fmt.Errorf("%s: WarmHits = %d, want %d", stage, ws.WarmHits, wantHits)
+		}
+		if r != want {
+			return fmt.Errorf("%s: warm solve %+v != cold %+v", stage, r, want)
+		}
+		for i := range eids {
+			if f := g.Flow(eids[i]); f != wantFlows[i] {
+				return fmt.Errorf("%s: edge %d warm flow %d, cold %d", stage, i, f, wantFlows[i])
+			}
+		}
+		return nil
+	}
+	// Reset keeps the memo valid: same shape, same source.
+	gw.Reset()
+	if err := replay("reset", gw, ids, cold, coldFlows, 1); err != nil {
+		return err
+	}
+	// Period boundary: Clear, rebuild the same instance inside the
+	// retained arenas, and the memo must still replay.
+	gw.Clear()
+	gw.AddNodes(in.Nodes)
+	for i, e := range in.Edges {
+		if id := gw.AddEdge(e.From, e.To, e.Cap, e.Cost); id != ids[i] {
+			return fmt.Errorf("rebuild edge %d: id %d, want %d", i, id, ids[i])
+		}
+	}
+	if err := replay("rebuild", gw, ids, cold, coldFlows, 2); err != nil {
+		return err
+	}
+	// Capacity magnitudes may drift between periods without invalidating
+	// the memo — only the open/closed pattern keys it. The warm solve of
+	// the grown instance must match a cold solve of that same instance.
+	mod := Instance{Nodes: in.Nodes, Src: in.Src, Sink: in.Sink,
+		Edges: append([]RefEdge(nil), in.Edges...)}
+	for i := range mod.Edges {
+		if mod.Edges[i].Cap > 0 {
+			mod.Edges[i].Cap = 2*mod.Edges[i].Cap + int64(i%3)
+		}
+	}
+	gm, mids := mod.Graph()
+	rm := gm.MinCostFlow(in.Src, in.Sink, refUnbounded)
+	modFlows := make([]int64, len(mids))
+	for i := range mids {
+		modFlows[i] = gm.Flow(mids[i])
+	}
+	gw.Clear()
+	gw.AddNodes(mod.Nodes)
+	for _, e := range mod.Edges {
+		gw.AddEdge(e.From, e.To, e.Cap, e.Cost)
+	}
+	if err := replay("capacity drift", gw, ids, rm, modFlows, 3); err != nil {
+		return err
+	}
+	// A shape change (one edge's open/closed state flips) must fall back
+	// to a cold solve, not replay a stale memo.
+	if len(in.Edges) > 0 {
+		alt := Instance{Nodes: in.Nodes, Src: in.Src, Sink: in.Sink,
+			Edges: append([]RefEdge(nil), in.Edges...)}
+		if alt.Edges[0].Cap > 0 {
+			alt.Edges[0].Cap = 0
+		} else {
+			alt.Edges[0].Cap = 1
+		}
+		gw.Clear()
+		gw.AddNodes(alt.Nodes)
+		for _, e := range alt.Edges {
+			gw.AddEdge(e.From, e.To, e.Cap, e.Cost)
+		}
+		if gw.Warmed(in.Src) {
+			return fmt.Errorf("shape change: graph still claims warm")
+		}
+		ga, aids := alt.Graph()
+		ra := ga.MinCostFlow(in.Src, in.Sink, refUnbounded)
+		wa := gw.WarmStart(in.Src, in.Sink, refUnbounded)
+		if ws.WarmHits != 3 {
+			return fmt.Errorf("shape change: WarmHits = %d, want 3 (must not replay)", ws.WarmHits)
+		}
+		if wa != ra {
+			return fmt.Errorf("shape change: warm-path solve %+v != cold %+v", wa, ra)
+		}
+		for i := range aids {
+			if f1, f2 := gw.Flow(aids[i]), ga.Flow(aids[i]); f1 != f2 {
+				return fmt.Errorf("shape change: edge %d flow %d, cold %d", i, f1, f2)
+			}
+		}
+	}
+	if ws.Solves < 4 {
+		return fmt.Errorf("workspace counted %d solves, want >= 4", ws.Solves)
+	}
 	return nil
 }

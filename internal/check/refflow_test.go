@@ -3,6 +3,8 @@ package check
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/flow"
 )
 
 // Known-answer sanity for the reference solvers themselves: a diamond
@@ -36,11 +38,13 @@ func TestRefGraphKnownAnswer(t *testing.T) {
 	}
 }
 
-// TestDifferentialOracles is the acceptance-criterion sweep: across
-// well over 200 seeded random instances, the production SSP and Dinic
+// TestDifferentialOracles is the acceptance-criterion sweep: across at
+// least 256 seeded random instances, the production SSP and Dinic
 // solvers and both naive references must agree on max-flow value, SSP's
-// cost must be the reference optimum, and conservation/Reset round-trip
-// must hold (all folded into DiffCheck).
+// cost must be the reference optimum, conservation/Reset round-trip
+// must hold, and warm-started workspace solves must be bit-identical to
+// cold ones across Reset, Clear+rebuild and capacity drift (all folded
+// into DiffCheck).
 func TestDifferentialOracles(t *testing.T) {
 	count := 0
 	for seed := int64(0); seed < 64; seed++ {
@@ -53,8 +57,8 @@ func TestDifferentialOracles(t *testing.T) {
 			count++
 		}
 	}
-	if count < 200 {
-		t.Fatalf("only %d instances checked, acceptance needs >= 200", count)
+	if count < 256 {
+		t.Fatalf("only %d instances checked, acceptance needs >= 256", count)
 	}
 }
 
@@ -87,6 +91,83 @@ func TestFlowCostScalingMetamorphic(t *testing.T) {
 					t.Fatalf("seed %d k=%d edge %d: flow %d -> %d", seed, k, i, f1, f2)
 				}
 			}
+		}
+	}
+}
+
+// TestWarmStartMetamorphicInterleave drives a workspace-backed graph
+// through random interleavings of Clear+rebuild (same shape, capacity
+// drift or genuine shape change), Reset and WarmStart, checking after
+// every solve that the result and per-edge flows equal a fresh cold
+// graph's — i.e. the memo life-cycle never leaks stale state no matter
+// the operation order.
+func TestWarmStartMetamorphicInterleave(t *testing.T) {
+	const refLimit = refUnbounded
+	for seed := int64(0); seed < 32; seed++ {
+		rng := rand.New(rand.NewSource(2000 + seed))
+		base := RandomInstance(rng, 8, 20, 12, 24)
+		if len(base.Edges) == 0 {
+			continue
+		}
+		cur := base
+		g, _ := cur.Graph()
+		ws := flow.NewWorkspace()
+		g.SetWorkspace(ws)
+		dirty := false
+		rebuild := func(in Instance) {
+			g.Clear()
+			g.AddNodes(in.Nodes)
+			for _, e := range in.Edges {
+				g.AddEdge(e.From, e.To, e.Cap, e.Cost)
+			}
+			cur, dirty = in, false
+		}
+		for op := 0; op < 40; op++ {
+			switch rng.Intn(4) {
+			case 0: // rebuild unchanged
+				rebuild(cur)
+			case 1: // rebuild with a perturbed edge
+				next := Instance{Nodes: cur.Nodes, Src: cur.Src, Sink: cur.Sink,
+					Edges: append([]RefEdge(nil), cur.Edges...)}
+				e := &next.Edges[rng.Intn(len(next.Edges))]
+				switch rng.Intn(3) {
+				case 0: // capacity drift (shape kept while cap stays open)
+					if e.Cap > 0 {
+						e.Cap += int64(rng.Intn(8))
+					}
+				case 1: // open/closed flip (shape change)
+					if e.Cap > 0 {
+						e.Cap = 0
+					} else {
+						e.Cap = 1 + int64(rng.Intn(8))
+					}
+				case 2: // cost change (shape change)
+					e.Cost = int64(rng.Intn(25))
+				}
+				rebuild(next)
+			case 2:
+				g.Reset()
+				dirty = false
+			case 3:
+				if dirty {
+					g.Reset()
+				}
+				warm := g.WarmStart(cur.Src, cur.Sink, refLimit)
+				dirty = true
+				gc, cids := cur.Graph()
+				cold := gc.MinCostFlow(cur.Src, cur.Sink, refLimit)
+				if warm != cold {
+					t.Fatalf("seed %d op %d: warm %+v != cold %+v\ninstance: %+v", seed, op, warm, cold, cur)
+				}
+				for i := range cids {
+					if fw, fc := g.Flow(cids[i]), gc.Flow(cids[i]); fw != fc {
+						t.Fatalf("seed %d op %d edge %d: warm flow %d, cold %d", seed, op, i, fw, fc)
+					}
+				}
+			}
+		}
+		if ws.Solves == 0 {
+			t.Fatalf("seed %d: interleave never solved", seed)
 		}
 	}
 }

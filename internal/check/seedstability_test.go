@@ -1,0 +1,44 @@
+package check_test
+
+import "testing"
+
+// Seed-stability goldens: the replay digests of the standard verified
+// scenario (PhysicalTestbed, P3, 6 s horizon, LC 40/s, BE 15/s) for two
+// seeds, captured before the solver hot path was rewritten around the
+// pooled workspace and warm starts. The refactor's contract is that it
+// changed the architecture, not the behavior: the index-based heap
+// replicates container/heap's sift order exactly and a warm-started
+// solve replays the memoized first Dijkstra pass bit-for-bit, so the
+// digests must stay byte-identical. If an intentional behavior change
+// ever lands, recapture with `go test -run TestSeedStabilityGoldens -v
+// -args -update` semantics: update these constants in the same commit
+// that justifies the change.
+var seedGoldens = map[int64]struct{ stream, report string }{
+	42: {
+		stream: "7ac3ae96964454da0b52a10b2f9d1e267877e1200c1d3285324fa59e55b22ad3",
+		report: "1c1a30f51249faf2b566eafc2ca78f0a996beefd52498bb83554c624058f4bfe",
+	},
+	7: {
+		stream: "cd4820b5572b8075354dcaf1f66a93f2400ccb63c7a4cfabffafe08c941c4496",
+		report: "9e4ed9f24210b8d82196a4b6ca4d81b32b195ebd987322004e89de30e492d6b3",
+	},
+}
+
+func TestSeedStabilityGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay runs are slow under -short")
+	}
+	for seed, want := range seedGoldens {
+		stream, report, violations := replayRun(t, seed)
+		if violations != nil {
+			t.Fatalf("seed %d: verifier violations: %v", seed, violations)
+		}
+		t.Logf("seed %d: stream=%s report=%s", seed, stream, report)
+		if stream != want.stream {
+			t.Errorf("seed %d: stream digest drifted:\n  golden %s\n  got    %s", seed, want.stream, stream)
+		}
+		if report != want.report {
+			t.Errorf("seed %d: report digest drifted:\n  golden %s\n  got    %s", seed, want.report, report)
+		}
+	}
+}

@@ -45,6 +45,15 @@ type BatchLCScheduler interface {
 	Name() string
 }
 
+// BatchLCIntoScheduler is the allocation-free variant: the dispatcher
+// hands in a reusable assignment map instead of receiving a fresh one
+// per round. Schedulers implementing it (DSS-LC does) are preferred by
+// dispatch.
+type BatchLCIntoScheduler interface {
+	ScheduleBatchInto(c topo.ClusterID, reqs []*engine.Request, out dsslc.Assignment)
+	Name() string
+}
+
 // OutcomeObserver receives request outcomes (QoS detector consumers).
 type OutcomeObserver interface {
 	NotifyOutcome(o engine.Outcome)
@@ -134,6 +143,7 @@ type System struct {
 	opts Options
 
 	lcQueues map[topo.ClusterID][]*engine.Request
+	lcAssign dsslc.Assignment // reused per dispatch round, cleared between uses
 	beQueue  []*engine.Request
 	central  topo.ClusterID
 
@@ -371,6 +381,21 @@ func (s *System) dispatch() {
 		}
 		s.lcQueues[c.ID] = nil
 		switch lc := s.lcSched.(type) {
+		case BatchLCIntoScheduler:
+			if s.lcAssign == nil {
+				s.lcAssign = make(dsslc.Assignment, len(q))
+			} else {
+				clear(s.lcAssign)
+			}
+			a := s.lcAssign
+			lc.ScheduleBatchInto(c.ID, q, a)
+			for _, r := range q {
+				if nid, ok := a[r.ID]; ok {
+					s.Engine.Dispatch(r, nid)
+				} else {
+					s.requeueLC(c.ID, r)
+				}
+			}
 		case BatchLCScheduler:
 			a := lc.ScheduleBatch(c.ID, q)
 			for _, r := range q {

@@ -20,6 +20,15 @@
 // whose capacities are the nodes' *total* resources scaled by the
 // augmentation factor λ (Eq. 7–8), so overflow queues proportionally to
 // the heterogeneous total capacity of each node.
+//
+// The solve loop is the scheduler's hot path, so it is built around one
+// reused flow.Graph + flow.Workspace per Scheduler: every route call
+// Clears and rebuilds the graph inside the retained arenas, solves with
+// flow.WarmStart (replaying the previous period's first Dijkstra pass
+// when the topology shape is unchanged), and all per-batch bookkeeping
+// draws from pooled slices. ScheduleBatchInto is steady-state
+// allocation-free when tracing is off (asserted by testing.AllocsPerRun
+// in dsslc_test.go).
 package dsslc
 
 import (
@@ -70,6 +79,34 @@ type Scheduler struct {
 	// the Dijkstra/augmentation split inside flow.MinCostFlow is
 	// attributed too. Nil costs nothing.
 	Prof *perf.Profiler
+
+	// Solver arena: one graph rebuilt in place per solve and one
+	// workspace feeding it pooled scratch plus the cross-period
+	// warm-start memo.
+	g  *flow.Graph
+	ws *flow.Workspace
+
+	// Pooled hot-path buffers. All are scratch whose contents are dead
+	// between ScheduleBatchInto calls; they grow to the high-water mark
+	// of the run and are never released.
+	candBuf   []*engine.Node
+	grouped   []*engine.Request
+	typeOff   []int32 // per-TypeID counts, then running offsets
+	reserved  []res.Vector
+	demand    []res.Vector
+	caps      []int64
+	totals    []int64
+	scaled    []int64
+	counts    []int64
+	edges     []flow.EdgeID
+	costs     []int64
+	links     []int64
+	fracs     fracSlice
+	neighbors []topo.ClusterID
+	// Single-entry cache for the geo-static neighbor-cluster list.
+	neighborsFor topo.ClusterID
+	neighborsKm  float64
+	neighborsOK  bool
 }
 
 // New creates a DSS-LC scheduler with the paper's 500 km geo radius.
@@ -80,17 +117,31 @@ func New(e *engine.Engine, seed int64) *Scheduler {
 // Name implements sched.Scheduler.
 func (s *Scheduler) Name() string { return "DSS-LC" }
 
+// Workspace exposes the scheduler's solver workspace (nil until the
+// first solve); benchmarks and tests read its Solves/WarmHits counters.
+func (s *Scheduler) Workspace() *flow.Workspace { return s.ws }
+
 // Assignment maps request IDs to chosen workers.
 type Assignment map[int64]topo.NodeID
 
 // ScheduleBatch routes every request in the batch (all from cluster c's
-// LC queue) and returns the assignment. Requests of each type are
-// handled independently (the "multi-commodity" structure); within a
-// type the two cases of Algorithm 2 apply.
+// LC queue) and returns a freshly allocated assignment. Requests of
+// each type are handled independently (the "multi-commodity"
+// structure); within a type the two cases of Algorithm 2 apply.
 func (s *Scheduler) ScheduleBatch(c topo.ClusterID, reqs []*engine.Request) Assignment {
-	out := Assignment{}
+	out := make(Assignment, len(reqs))
+	s.ScheduleBatchInto(c, reqs, out)
+	return out
+}
+
+// ScheduleBatchInto is ScheduleBatch writing into a caller-provided
+// assignment (existing entries are kept), so a dispatcher draining
+// queues every period can reuse one cleared map instead of allocating
+// per round. With tracing off this path performs zero steady-state heap
+// allocations.
+func (s *Scheduler) ScheduleBatchInto(c topo.ClusterID, reqs []*engine.Request, out Assignment) {
 	if len(reqs) == 0 {
-		return out
+		return
 	}
 	s.Decisions++
 	if tr := s.Tracer; tr.Enabled() {
@@ -100,32 +151,74 @@ func (s *Scheduler) ScheduleBatch(c topo.ClusterID, reqs []*engine.Request) Assi
 	}
 	workers := s.candidates(c)
 	if len(workers) == 0 {
-		return out
+		return
 	}
-	byType := map[trace.TypeID][]*engine.Request{}
+
+	// Slice-backed grouping (replaces the old per-batch map + type
+	// sort): a counting sort over the dense non-negative TypeID space
+	// yields the types in ascending order with arrival order preserved
+	// within each type — exactly the old iteration order, without the
+	// map, the sort or their allocations.
+	maxT := 0
 	for _, r := range reqs {
-		byType[r.Type] = append(byType[r.Type], r)
+		if int(r.Type) > maxT {
+			maxT = int(r.Type)
+		}
 	}
-	// Deterministic type order.
-	types := make([]trace.TypeID, 0, len(byType))
-	for t := range byType {
-		types = append(types, t)
+	if cap(s.typeOff) < maxT+1 {
+		s.typeOff = make([]int32, maxT+1)
 	}
-	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	off := s.typeOff[:maxT+1]
+	for i := range off {
+		off[i] = 0
+	}
+	for _, r := range reqs {
+		off[r.Type]++
+	}
+	var pos int32
+	for t := range off {
+		n := off[t]
+		off[t] = pos
+		pos += n
+	}
+	if cap(s.grouped) < len(reqs) {
+		s.grouped = make([]*engine.Request, len(reqs))
+	}
+	grouped := s.grouped[:len(reqs)]
+	for _, r := range reqs {
+		grouped[off[r.Type]] = r
+		off[r.Type]++ // off[t] ends as the end offset of type t
+	}
 
 	// reserved tracks resources already assigned to earlier commodities
 	// (request types) of this batch: the MCNF's node capacities are
 	// shared across commodities, so each type sees what the previous
 	// ones left behind.
-	reserved := make([]res.Vector, len(workers))
+	reserved := growVectors(&s.reserved, len(workers))
+	demand := growVectors(&s.demand, len(workers))
+	caps := growInt64s(&s.caps, len(workers))
 
-	for _, t := range types {
-		rs := byType[t]
-		demand := make([]res.Vector, len(workers))
-		caps := make([]int64, len(workers))
+	book := func(counts []int64) {
+		for i, n := range counts {
+			if n != 0 {
+				reserved[i] = reserved[i].Add(demand[i].Scale(n, 1))
+			}
+		}
+	}
+
+	var start int32
+	for t := 0; t <= maxT; t++ {
+		end := off[t]
+		if end == start {
+			continue
+		}
+		rs := grouped[start:end]
+		start = end
+		svc := trace.TypeID(t)
+
 		var capTotal int64
 		for i, w := range workers {
-			demand[i] = w.EffectiveDemand(t)
+			demand[i] = w.EffectiveDemand(svc)
 			// Availability per §4.1 regulations (idle + BE-held), minus
 			// what earlier dispatch rounds queued at or sent toward the
 			// node and what this batch already assigned.
@@ -133,14 +226,9 @@ func (s *Scheduler) ScheduleBatch(c topo.ClusterID, reqs []*engine.Request) Assi
 			caps[i] = avail.CapacityCount(demand[i])
 			capTotal += caps[i]
 		}
-		book := func(counts map[int]int64) {
-			for i, n := range counts {
-				reserved[i] = reserved[i].Add(demand[i].Scale(n, 1))
-			}
-		}
 		if capTotal >= int64(len(rs)) {
 			// Case 1: capacity covers demand; route on Ĝ_k.
-			book(s.route(c, t, obs.PhaseImmediate, rs, workers, caps, out))
+			book(s.route(c, svc, obs.PhaseImmediate, rs, workers, caps, out))
 			continue
 		}
 		// Case 2: split by the random sorting function ρ(·) — all LC
@@ -149,39 +237,47 @@ func (s *Scheduler) ScheduleBatch(c topo.ClusterID, reqs []*engine.Request) Assi
 		immediate := rs[:capTotal]
 		overflow := rs[capTotal:]
 		if len(immediate) > 0 {
-			book(s.route(c, t, obs.PhaseImmediate, immediate, workers, caps, out))
+			book(s.route(c, svc, obs.PhaseImmediate, immediate, workers, caps, out))
 		}
 		// Ĝ'_k: total-resource capacities scaled by λ (Eq. 7–8).
-		totals := make([]int64, len(workers))
+		totals := growInt64s(&s.totals, len(workers))
 		var totSum int64
 		for i, w := range workers {
 			totals[i] = w.Capacity.CapacityCount(demand[i])
 			totSum += totals[i]
 		}
 		need := int64(len(overflow))
-		scaled := scaleToSum(totals, totSum, need)
-		book(s.route(c, t, obs.PhaseOverflow, overflow, workers, scaled, out))
+		scaled := growInt64s(&s.scaled, len(workers))
+		scaleToSumInto(scaled, &s.fracs, totals, totSum, need)
+		book(s.route(c, svc, obs.PhaseOverflow, overflow, workers, scaled, out))
 	}
-	return out
 }
 
 // route solves one min-cost-flow instance: source → master (pending) →
 // workers (capacity caps, cost = transmission delay) → sink, then
 // assigns requests to workers according to the edge flows. It returns
-// the per-worker assignment counts so the caller can book reservations.
-func (s *Scheduler) route(c topo.ClusterID, svc trace.TypeID, phase string, rs []*engine.Request, workers []*engine.Node, caps []int64, out Assignment) map[int]int64 {
+// the per-worker assignment counts (a pooled slice, valid until the
+// next route call) so the caller can book reservations.
+func (s *Scheduler) route(c topo.ClusterID, svc trace.TypeID, phase string, rs []*engine.Request, workers []*engine.Node, caps []int64, out Assignment) []int64 {
 	t := s.Engine.Topology()
 	masterID := t.Cluster(c).Master
 	s.Prof.Enter(perf.PhaseSolveGraphBuild)
-	g := flow.NewGraph()
+	g := s.g
+	if g == nil {
+		g = flow.NewGraph()
+		s.ws = flow.NewWorkspace()
+		g.SetWorkspace(s.ws)
+		s.g = g
+	}
 	g.SetProfiler(s.Prof)
+	g.Clear()
 	src := g.AddNode()
 	master := g.AddNode()
 	sink := g.AddNode()
 	g.AddEdge(src, master, int64(len(rs)), 0)
-	edges := make([]flow.EdgeID, len(workers))
-	costs := make([]int64, len(workers))
-	links := make([]int64, len(workers))
+	edges := growEdgeIDs(&s.edges, len(workers))
+	costs := growInt64s(&s.costs, len(workers))
+	links := growInt64s(&s.links, len(workers))
 	for i, w := range workers {
 		wn := g.AddNode()
 		// Transmission delay in microseconds as the cost (Eq. 3).
@@ -201,18 +297,24 @@ func (s *Scheduler) route(c topo.ClusterID, svc trace.TypeID, phase string, rs [
 		g.AddEdge(wn, sink, cap, 0)
 	}
 	s.Prof.Exit(perf.PhaseSolveGraphBuild)
-	solved := g.MinCostFlow(src, sink, int64(len(rs)))
+	// Warm-started solve: across scheduling periods the rebuilt graph
+	// usually has the same shape (same candidate workers, same RTT
+	// costs, capacities varying only in magnitude), so the workspace
+	// replays the previous period's first Dijkstra pass — results are
+	// identical to a cold MinCostFlow either way.
+	solved := g.WarmStart(src, sink, int64(len(rs)))
 	if s.OnSolve != nil {
 		s.OnSolve(g, src, sink, solved)
 	}
 	// Distribute requests over workers by flow amounts; any residual
 	// (flow < len(rs), e.g. link caps bind) falls back to the local
-	// cluster's least-loaded worker.
-	counts := map[int]int64{}
+	// cluster's least-loaded worker. counts is dense, indexed by worker
+	// position, so candidate iteration order is explicit.
+	counts := growInt64s(&s.counts, len(workers))
 	ri := 0
 	for i, e := range edges {
 		f := g.Flow(e)
-		counts[i] += f
+		counts[i] = f
 		for ; f > 0 && ri < len(rs); f-- {
 			out[rs[ri].ID] = workers[i].ID
 			ri++
@@ -275,20 +377,33 @@ func (s *Scheduler) leastLoadedLocal(c topo.ClusterID) topo.NodeID {
 
 func (s *Scheduler) candidates(c topo.ClusterID) []*engine.Node {
 	t := s.Engine.Topology()
-	var out []*engine.Node
+	out := s.candBuf[:0]
 	for _, w := range t.WorkersOf(c) {
 		if n := s.Engine.Node(w); !n.Down() {
 			out = append(out, n)
 		}
 	}
-	for _, nc := range t.NeighborClusters(c, s.GeoRadiusKm) {
+	for _, nc := range s.neighborsOf(t, c) {
 		for _, w := range t.WorkersOf(nc) {
 			if n := s.Engine.Node(w); !n.Down() {
 				out = append(out, n)
 			}
 		}
 	}
+	s.candBuf = out
 	return out
+}
+
+// neighborsOf caches the geo-nearby cluster list: cluster positions are
+// static for the lifetime of a topology, so the list only changes when
+// the scheduler is asked about a different cluster or radius.
+func (s *Scheduler) neighborsOf(t *topo.Topology, c topo.ClusterID) []topo.ClusterID {
+	if s.neighborsOK && s.neighborsFor == c && s.neighborsKm == s.GeoRadiusKm {
+		return s.neighbors
+	}
+	s.neighbors = t.NeighborClustersInto(s.neighbors[:0], c, s.GeoRadiusKm)
+	s.neighborsFor, s.neighborsKm, s.neighborsOK = c, s.GeoRadiusKm, true
+	return s.neighbors
 }
 
 // Pick adapts DSS-LC to the one-request sched.Scheduler interface by
@@ -299,13 +414,82 @@ func (s *Scheduler) Pick(r *engine.Request, cands []*engine.Node) (topo.NodeID, 
 	return id, ok
 }
 
+// growInt64s resizes a pooled int64 slice to n, zeroed.
+func growInt64s(buf *[]int64, n int) []int64 {
+	if cap(*buf) < n {
+		*buf = make([]int64, n)
+		return *buf
+	}
+	out := (*buf)[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
+// growVectors resizes a pooled res.Vector slice to n, zeroed.
+func growVectors(buf *[]res.Vector, n int) []res.Vector {
+	if cap(*buf) < n {
+		*buf = make([]res.Vector, n)
+		return *buf
+	}
+	out := (*buf)[:n]
+	for i := range out {
+		out[i] = res.Vector{}
+	}
+	return out
+}
+
+// growEdgeIDs resizes a pooled EdgeID slice to n (contents overwritten
+// by the caller).
+func growEdgeIDs(buf *[]flow.EdgeID, n int) []flow.EdgeID {
+	if cap(*buf) < n {
+		*buf = make([]flow.EdgeID, n)
+	}
+	return (*buf)[:n]
+}
+
+// frac is one worker's fractional remainder in the largest-remainder
+// rounding of scaleToSum.
+type frac struct {
+	i   int
+	rem float64
+}
+
+// fracSlice sorts by remainder descending, index ascending — a total
+// order, so any correct sort yields the same permutation the previous
+// sort.Slice-based implementation produced.
+type fracSlice []frac
+
+func (f *fracSlice) Len() int      { return len(*f) }
+func (f *fracSlice) Swap(i, j int) { (*f)[i], (*f)[j] = (*f)[j], (*f)[i] }
+func (f *fracSlice) Less(i, j int) bool {
+	a, b := (*f)[i], (*f)[j]
+	if a.rem != b.rem {
+		return a.rem > b.rem
+	}
+	return a.i < b.i
+}
+
 // scaleToSum scales vals (nonnegative, summing to totSum) so they sum to
 // need, using the largest-remainder method — the integer realization of
 // the augmentation factor λ = need/totSum of Eq. 8.
 func scaleToSum(vals []int64, totSum, need int64) []int64 {
 	out := make([]int64, len(vals))
+	var fr fracSlice
+	scaleToSumInto(out, &fr, vals, totSum, need)
+	return out
+}
+
+// scaleToSumInto is scaleToSum writing into out (len(out) == len(vals))
+// with fr as sorting scratch, so the scheduler's hot path reuses pooled
+// buffers instead of allocating per overflow solve.
+func scaleToSumInto(out []int64, fr *fracSlice, vals []int64, totSum, need int64) {
+	for i := range out {
+		out[i] = 0
+	}
 	if need <= 0 || len(vals) == 0 {
-		return out
+		return
 	}
 	if totSum <= 0 {
 		// No capacity information: spread evenly.
@@ -314,30 +498,20 @@ func scaleToSum(vals []int64, totSum, need int64) []int64 {
 			out[i] = rem / int64(len(out)-i)
 			rem -= out[i]
 		}
-		return out
+		return
 	}
-	type frac struct {
-		i   int
-		rem float64
-	}
-	var fr []frac
+	*fr = (*fr)[:0]
 	var sum int64
 	for i, v := range vals {
 		exact := float64(v) * float64(need) / float64(totSum)
 		fl := int64(exact)
 		out[i] = fl
 		sum += fl
-		fr = append(fr, frac{i, exact - float64(fl)})
+		*fr = append(*fr, frac{i, exact - float64(fl)})
 	}
-	sort.Slice(fr, func(a, b int) bool {
-		if fr[a].rem != fr[b].rem {
-			return fr[a].rem > fr[b].rem
-		}
-		return fr[a].i < fr[b].i
-	})
+	sort.Sort(fr)
 	for k := 0; sum < need; k++ {
-		out[fr[k%len(fr)].i]++
+		out[(*fr)[k%len(*fr)].i]++
 		sum++
 	}
-	return out
 }

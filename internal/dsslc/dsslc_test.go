@@ -356,6 +356,78 @@ func TestDSSLCBeatsRoundRobinOnQoS(t *testing.T) {
 	}
 }
 
+// TestScheduleBatchIntoAllocFree pins the scheduler-level allocation
+// budget: after warm-up (pooled buffers grown, graph arena built,
+// warm-start memo captured), a within-capacity batch schedules with
+// zero heap allocations when tracing is off. The same budget is
+// enforced end to end by `tango-bench -compare -alloc-threshold`.
+func TestScheduleBatchIntoAllocFree(t *testing.T) {
+	_, e, _ := env(16000)
+	s := New(e, 1)
+	// 64 type-3 requests exactly fill local+nearby capacity (4 workers ×
+	// 16 slots), so every call takes the within-capacity route.
+	reqs := lcReqs(e, 64, 3)
+	out := make(Assignment, len(reqs))
+	s.ScheduleBatchInto(0, reqs, out)
+	if len(out) != 64 {
+		t.Fatalf("warm-up assigned %d of 64", len(out))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		clear(out)
+		s.ScheduleBatchInto(0, reqs, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed ScheduleBatchInto allocates %.1f/op, want 0", allocs)
+	}
+	ws := s.Workspace()
+	if ws == nil || ws.WarmHits == 0 {
+		t.Fatal("warm-start memo never replayed across periods")
+	}
+	t.Logf("workspace: %d solves, %d warm hits", ws.Solves, ws.WarmHits)
+}
+
+// Same budget for the overflow path (capacity exceeded, ρ-split and
+// λ-scaled second solve): still allocation-free, although the two
+// per-batch solves have different graph shapes so the single-entry memo
+// cannot replay.
+func TestScheduleBatchIntoOverflowAllocFree(t *testing.T) {
+	_, e, _ := env(16000)
+	s := New(e, 1)
+	reqs := lcReqs(e, 100, 3) // 100 > 64 slots: forces the ρ-split
+	out := make(Assignment, len(reqs))
+	s.ScheduleBatchInto(0, reqs, out)
+	if len(out) != 100 {
+		t.Fatalf("warm-up assigned %d of 100", len(out))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		clear(out)
+		s.ScheduleBatchInto(0, reqs, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed overflow ScheduleBatchInto allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// ScheduleBatchInto and ScheduleBatch must agree: the Into variant is
+// the same algorithm writing into a caller-owned map.
+func TestScheduleBatchIntoMatchesScheduleBatch(t *testing.T) {
+	_, e1, _ := env(4000)
+	_, e2, _ := env(4000)
+	reqs1 := lcReqs(e1, 30, 3)
+	reqs2 := lcReqs(e2, 30, 3)
+	a := New(e1, 7).ScheduleBatch(0, reqs1)
+	into := make(Assignment, len(reqs2))
+	New(e2, 7).ScheduleBatchInto(0, reqs2, into)
+	if len(a) != len(into) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(into))
+	}
+	for id, nid := range a {
+		if into[id] != nid {
+			t.Fatalf("request %d: ScheduleBatch -> %d, Into -> %d", id, nid, into[id])
+		}
+	}
+}
+
 func BenchmarkScheduleBatch(b *testing.B) {
 	_, e, _ := env(16000)
 	s := New(e, 1)
@@ -363,5 +435,19 @@ func BenchmarkScheduleBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.ScheduleBatch(0, reqs)
+	}
+}
+
+func BenchmarkScheduleBatchInto(b *testing.B) {
+	_, e, _ := env(16000)
+	s := New(e, 1)
+	reqs := lcReqs(e, 100, 3)
+	out := make(Assignment, len(reqs))
+	s.ScheduleBatchInto(0, reqs, out)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(out)
+		s.ScheduleBatchInto(0, reqs, out)
 	}
 }

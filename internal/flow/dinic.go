@@ -83,5 +83,8 @@ func (g *Graph) MaxFlowDinic(source, sink int) int64 {
 			total += f
 		}
 	}
+	if total > 0 {
+		g.pristine = false
+	}
 	return total
 }

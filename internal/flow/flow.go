@@ -5,10 +5,17 @@
 // integral capacities and nonnegative arc costs — precisely the shape of
 // the per-request-type MCNF graphs DSS-LC constructs (unit request flows,
 // latency costs).
+//
+// The solver is built for reuse: a Graph's node and edge arenas survive
+// Clear for the next period's rebuild, a Workspace (workspace.go) pools
+// all per-solve scratch so a warmed solver allocates nothing, and
+// WarmStart replays the memoized first Dijkstra pass when the rebuilt
+// graph has the same shape as the previous period's — producing
+// bit-identical results to a cold solve while skipping its most
+// expensive search.
 package flow
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -30,18 +37,38 @@ type Graph struct {
 	adj   [][]arc
 	edges []struct{ from, idx int } // maps EdgeID -> arc location
 	prof  *perf.Profiler
+	ws    *Workspace
+
+	// pristine is true while every arc still holds its original
+	// capacity (after build, Clear or Reset; false once a solve pushes
+	// flow). The warm-start memo is captured from and replayed onto
+	// pristine graphs only.
+	pristine bool
 }
 
 // NewGraph returns an empty graph.
-func NewGraph() *Graph { return &Graph{} }
+func NewGraph() *Graph { return &Graph{pristine: true} }
 
 // SetProfiler attaches a phase profiler: subsequent solves charge their
 // Dijkstra searches, augmentations and Dinic passes to the solve/*
 // phases. A nil profiler (the default) costs nothing.
 func (g *Graph) SetProfiler(p *perf.Profiler) { g.prof = p }
 
+// SetWorkspace attaches a reusable solver workspace. With a workspace,
+// solves draw their scratch state from its pooled buffers (zero
+// steady-state allocations) and pristine solves feed the warm-start
+// memo. Without one, each solve uses a throwaway workspace.
+func (g *Graph) SetWorkspace(ws *Workspace) { g.ws = ws }
+
 // AddNode creates a node and returns its index.
 func (g *Graph) AddNode() int {
+	if n := len(g.adj); n < cap(g.adj) {
+		// Re-extend into the arena kept by Clear: the previous inner
+		// slice is truncated in place so its capacity is reused.
+		g.adj = g.adj[:n+1]
+		g.adj[n] = g.adj[n][:0]
+		return n
+	}
 	g.adj = append(g.adj, nil)
 	return len(g.adj) - 1
 }
@@ -50,7 +77,7 @@ func (g *Graph) AddNode() int {
 func (g *Graph) AddNodes(n int) int {
 	first := len(g.adj)
 	for i := 0; i < n; i++ {
-		g.adj = append(g.adj, nil)
+		g.AddNode()
 	}
 	return first
 }
@@ -94,23 +121,34 @@ type Result struct {
 	Cost int64 // total cost of the routed flow
 }
 
-type pqItem struct {
-	node int
-	dist int64
-}
-
-type pq []pqItem
-
-func (p pq) Len() int           { return len(p) }
-func (p pq) Less(i, j int) bool { return p[i].dist < p[j].dist }
-func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
-
 // MinCostFlow routes up to maxFlow units from source to sink, minimizing
 // total cost. Pass math.MaxInt64 as maxFlow for a min-cost max-flow.
 // The graph retains the flow assignment for Flow queries.
 func (g *Graph) MinCostFlow(source, sink int, maxFlow int64) Result {
+	return g.solve(source, sink, maxFlow, false)
+}
+
+// WarmStart is MinCostFlow with a cross-period warm start: when the
+// graph is pristine and its shape (node count, arc order, costs and
+// positive-capacity pattern) matches the workspace's memo from a
+// previous solve with the same source, the first Dijkstra pass is
+// replayed from the memo instead of recomputed. The replayed labels are
+// exactly what the cold pass would produce — capacity magnitudes do not
+// enter a Dijkstra over open arcs — so the solve trajectory, the
+// Result and every per-edge flow are identical to MinCostFlow's. When
+// the memo does not apply, WarmStart degrades to a cold solve (and
+// refreshes the memo for the next period).
+func (g *Graph) WarmStart(source, sink int, maxFlow int64) Result {
+	return g.solve(source, sink, maxFlow, true)
+}
+
+// Warmed reports whether a WarmStart solve from source would currently
+// replay the memoized first pass rather than run a cold Dijkstra.
+func (g *Graph) Warmed(source int) bool {
+	return g.ws != nil && g.pristine && g.ws.matches(g, source)
+}
+
+func (g *Graph) solve(source, sink int, maxFlow int64, warm bool) Result {
 	n := len(g.adj)
 	if source < 0 || source >= n || sink < 0 || sink >= n {
 		panic("flow: source/sink out of range")
@@ -122,41 +160,68 @@ func (g *Graph) MinCostFlow(source, sink int, maxFlow int64) Result {
 	prof.Enter(perf.PhaseSolveMCNF)
 	defer prof.Exit(perf.PhaseSolveMCNF)
 	const inf = math.MaxInt64 / 4
-	potential := make([]int64, n)
-	dist := make([]int64, n)
-	prevNode := make([]int, n)
-	prevArc := make([]int, n)
+
+	ws := g.ws
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.grow(n)
+	ws.Solves++
+	dist, potential := ws.dist[:n], ws.potential[:n]
+	prevNode, prevArc := ws.prevNode[:n], ws.prevArc[:n]
+	for i := range potential {
+		potential[i] = 0
+	}
+	// The memo applies to the first iteration only: every later Dijkstra
+	// runs on a residual network the memo knows nothing about. Capture,
+	// conversely, happens on the first cold pass of a pristine solve
+	// when a persistent workspace is attached.
+	useMemo := warm && g.pristine && ws.matches(g, source)
+	capture := g.ws != nil && g.pristine && !useMemo
+	first := true
 	var total Result
 
 	for total.Flow < maxFlow {
 		// Dijkstra on reduced costs (the Johnson-potential search).
 		prof.Enter(perf.PhaseSolveDijkstra)
-		for i := range dist {
-			dist[i] = inf
-			prevNode[i] = -1
-		}
-		dist[source] = 0
-		h := pq{{source, 0}}
-		for len(h) > 0 {
-			it := heap.Pop(&h).(pqItem)
-			if it.dist > dist[it.node] {
-				continue
+		if first && useMemo {
+			copy(dist, ws.memoDist[:n])
+			copy(prevNode, ws.memoPrevNode[:n])
+			copy(prevArc, ws.memoPrevArc[:n])
+			ws.WarmHits++
+		} else {
+			for i := range dist {
+				dist[i] = inf
+				prevNode[i] = -1
 			}
-			u := it.node
-			for ai := range g.adj[u] {
-				a := &g.adj[u][ai]
-				if a.cap <= 0 {
+			dist[source] = 0
+			ws.heap = ws.heap[:0]
+			pqPush(&ws.heap, pqItem{source, 0})
+			for len(ws.heap) > 0 {
+				it := pqPop(&ws.heap)
+				if it.dist > dist[it.node] {
 					continue
 				}
-				nd := dist[u] + a.cost + potential[u] - potential[a.to]
-				if nd < dist[a.to] {
-					dist[a.to] = nd
-					prevNode[a.to] = u
-					prevArc[a.to] = ai
-					heap.Push(&h, pqItem{a.to, nd})
+				u := it.node
+				for ai := range g.adj[u] {
+					a := &g.adj[u][ai]
+					if a.cap <= 0 {
+						continue
+					}
+					nd := dist[u] + a.cost + potential[u] - potential[a.to]
+					if nd < dist[a.to] {
+						dist[a.to] = nd
+						prevNode[a.to] = u
+						prevArc[a.to] = ai
+						pqPush(&ws.heap, pqItem{a.to, nd})
+					}
 				}
 			}
+			if first && capture {
+				ws.capture(g, source, dist, prevNode, prevArc)
+			}
 		}
+		first = false
 		prof.Exit(perf.PhaseSolveDijkstra)
 		if dist[sink] >= inf {
 			break // no augmenting path
@@ -188,6 +253,9 @@ func (g *Graph) MinCostFlow(source, sink int, maxFlow int64) Result {
 		total.Flow += push
 		prof.Exit(perf.PhaseSolveAugment)
 	}
+	if total.Flow > 0 {
+		g.pristine = false
+	}
 	return total
 }
 
@@ -198,7 +266,9 @@ func (g *Graph) MaxFlow(source, sink int) int64 {
 	return g.MinCostFlow(source, sink, math.MaxInt64/4).Flow
 }
 
-// Reset clears all flow, restoring original capacities.
+// Reset clears all flow, restoring original capacities. The warm-start
+// memo survives: a Reset graph is pristine again, so the next WarmStart
+// with an unchanged shape replays the memoized first pass.
 func (g *Graph) Reset() {
 	for _, e := range g.edges {
 		a := &g.adj[e.from][e.idx]
@@ -206,6 +276,17 @@ func (g *Graph) Reset() {
 		a.cap += r.cap
 		r.cap = 0
 	}
+	g.pristine = true
+}
+
+// Clear empties the graph for the next period's rebuild while retaining
+// the node and edge arenas: the outer adjacency slice, every node's arc
+// slice and the edge table keep their capacity, so rebuilding the same
+// topology allocates nothing in steady state.
+func (g *Graph) Clear() {
+	g.adj = g.adj[:0]
+	g.edges = g.edges[:0]
+	g.pristine = true
 }
 
 // Excess verification helpers (used by tests and callers that assert

@@ -10,7 +10,9 @@ import (
 // and runs the full differential oracle: the production SSP and Dinic
 // solvers must agree with the naive Bellman-Ford/Edmonds-Karp
 // references on max-flow value, SSP's cost must be the reference
-// optimum, and conservation plus Reset round-tripping must hold.
+// optimum, conservation plus Reset round-tripping must hold, and
+// workspace-backed warm starts (memo replay across Reset, Clear+rebuild
+// and capacity drift) must be bit-identical to cold solves.
 // Run continuously with `make fuzz-smoke` (or `go test -fuzz`).
 func FuzzMinCostFlow(f *testing.F) {
 	// Seed corpus: trivial, diamond, parallel/zero-cap edges, a dense

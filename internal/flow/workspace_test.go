@@ -1,0 +1,187 @@
+package flow
+
+import (
+	"math"
+	"testing"
+)
+
+// Tests for the solver workspace: the zero-allocation budget of warmed
+// solves, warm-start replay correctness at the unit level (the heavy
+// differential artillery lives in internal/check), and the memo
+// life-cycle across Clear/Reset/shape changes.
+
+const unbounded = math.MaxInt64 / 4
+
+// rebuildDiamond rebuilds the standard two-path graph inside g's
+// retained arenas without materializing anything itself (the edge IDs
+// are always 0..3, in AddEdge order).
+func rebuildDiamond(g *Graph) {
+	g.Clear()
+	g.AddNodes(4)
+	g.AddEdge(0, 1, 2, 1)
+	g.AddEdge(1, 3, 2, 0)
+	g.AddEdge(0, 2, 3, 5)
+	g.AddEdge(2, 3, 3, 0)
+}
+
+// buildDiamond is rebuildDiamond returning the edge IDs.
+func buildDiamond(g *Graph) []EdgeID {
+	rebuildDiamond(g)
+	return []EdgeID{0, 1, 2, 3}
+}
+
+func TestWarmStartReplaysMemo(t *testing.T) {
+	g := NewGraph()
+	ws := NewWorkspace()
+	g.SetWorkspace(ws)
+	ids := buildDiamond(g)
+	if g.Warmed(0) {
+		t.Fatal("fresh workspace claims warm")
+	}
+	r1 := g.WarmStart(0, 3, unbounded)
+	if r1.Flow != 5 || r1.Cost != 17 {
+		t.Fatalf("cold warm-start solve = %+v, want flow 5 cost 17", r1)
+	}
+	if ws.WarmHits != 0 {
+		t.Fatalf("WarmHits = %d after first solve, want 0", ws.WarmHits)
+	}
+	flows := make([]int64, len(ids))
+	for i, id := range ids {
+		flows[i] = g.Flow(id)
+	}
+	// Reset: memo replays.
+	g.Reset()
+	if !g.Warmed(0) {
+		t.Fatal("not warmed after Reset")
+	}
+	if r := g.WarmStart(0, 3, unbounded); r != r1 {
+		t.Fatalf("warm solve after Reset = %+v, cold = %+v", r, r1)
+	}
+	if ws.WarmHits != 1 {
+		t.Fatalf("WarmHits = %d, want 1", ws.WarmHits)
+	}
+	// Clear+rebuild: memo survives the period boundary.
+	ids = buildDiamond(g)
+	if !g.Warmed(0) {
+		t.Fatal("not warmed after Clear+rebuild of the same shape")
+	}
+	if r := g.WarmStart(0, 3, unbounded); r != r1 {
+		t.Fatalf("warm solve after rebuild = %+v, cold = %+v", r, r1)
+	}
+	for i, id := range ids {
+		if f := g.Flow(id); f != flows[i] {
+			t.Fatalf("edge %d: warm flow %d, cold %d", i, f, flows[i])
+		}
+	}
+	if ws.WarmHits != 2 || ws.Solves != 3 {
+		t.Fatalf("counters = %d hits / %d solves, want 2/3", ws.WarmHits, ws.Solves)
+	}
+	// A different source must not replay the memo.
+	g.Reset()
+	if g.Warmed(1) {
+		t.Fatal("warmed for a different source")
+	}
+}
+
+func TestWarmStartInvalidatedByShapeChange(t *testing.T) {
+	g := NewGraph()
+	g.SetWorkspace(NewWorkspace())
+	buildDiamond(g)
+	g.WarmStart(0, 3, unbounded)
+	// Change one cost: shape mismatch, cold fallback, memo refreshed.
+	g.Clear()
+	g.AddNodes(4)
+	g.AddEdge(0, 1, 2, 2) // cost 1 -> 2
+	g.AddEdge(1, 3, 2, 0)
+	g.AddEdge(0, 2, 3, 5)
+	g.AddEdge(2, 3, 3, 0)
+	if g.Warmed(0) {
+		t.Fatal("warmed despite cost change")
+	}
+	r := g.WarmStart(0, 3, unbounded)
+	if r.Flow != 5 || r.Cost != 2*2+3*5 {
+		t.Fatalf("solve after cost change = %+v, want flow 5 cost 19", r)
+	}
+	// The fallback captured a fresh memo for the new shape.
+	g.Reset()
+	if !g.Warmed(0) {
+		t.Fatal("memo not refreshed by the cold fallback")
+	}
+}
+
+func TestWarmStartCapacityDriftKeepsMemo(t *testing.T) {
+	g := NewGraph()
+	ws := NewWorkspace()
+	g.SetWorkspace(ws)
+	buildDiamond(g)
+	g.WarmStart(0, 3, unbounded)
+	// Next period: same shape, larger capacities. Memo still applies and
+	// the warm result matches a cold solve of the grown graph.
+	g.Clear()
+	g.AddNodes(4)
+	g.AddEdge(0, 1, 4, 1)
+	g.AddEdge(1, 3, 4, 0)
+	g.AddEdge(0, 2, 6, 5)
+	g.AddEdge(2, 3, 6, 0)
+	if !g.Warmed(0) {
+		t.Fatal("capacity drift invalidated the memo")
+	}
+	r := g.WarmStart(0, 3, unbounded)
+	if ws.WarmHits != 1 {
+		t.Fatalf("WarmHits = %d, want 1", ws.WarmHits)
+	}
+	if r.Flow != 10 || r.Cost != 4*1+6*5 {
+		t.Fatalf("warm solve of grown graph = %+v, want flow 10 cost 34", r)
+	}
+}
+
+// TestClearRetainsArenas pins the allocation contract of the rebuild
+// path: after the first build, Clear+rebuild of the same topology
+// allocates nothing.
+func TestClearRetainsArenas(t *testing.T) {
+	g := NewGraph()
+	g.SetWorkspace(NewWorkspace())
+	buildDiamond(g)
+	g.WarmStart(0, 3, unbounded)
+	allocs := testing.AllocsPerRun(100, func() {
+		rebuildDiamond(g)
+	})
+	if allocs != 0 {
+		t.Fatalf("Clear+rebuild allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestWarmedSolveAllocFree is the tentpole's allocation budget: a
+// workspace-backed solve — warm replay or cold Dijkstra — performs zero
+// steady-state heap allocations. The same budget is enforced end to end
+// on the bench side by `tango-bench -compare -alloc-threshold`.
+func TestWarmedSolveAllocFree(t *testing.T) {
+	g := NewGraph()
+	g.SetWorkspace(NewWorkspace())
+	buildDiamond(g)
+	g.WarmStart(0, 3, unbounded) // grow scratch, capture memo
+
+	warm := testing.AllocsPerRun(100, func() {
+		g.Reset()
+		g.WarmStart(0, 3, unbounded)
+	})
+	if warm != 0 {
+		t.Fatalf("warm Reset+WarmStart allocates %.1f/op, want 0", warm)
+	}
+	cold := testing.AllocsPerRun(100, func() {
+		rebuildDiamond(g)
+		g.MinCostFlow(0, 3, unbounded)
+	})
+	if cold != 0 {
+		t.Fatalf("pooled cold Clear+rebuild+MinCostFlow allocates %.1f/op, want 0", cold)
+	}
+	dinic := testing.AllocsPerRun(100, func() {
+		g.Reset()
+		g.MaxFlowDinic(0, 3)
+	})
+	// Dinic still builds its own level/iter scratch; it is off the
+	// DSS-LC hot path, so its budget is merely "bounded", not zero.
+	if dinic > 8 {
+		t.Fatalf("Dinic allocates %.1f/op, want <= 8", dinic)
+	}
+}

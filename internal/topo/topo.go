@@ -149,16 +149,22 @@ func (t *Topology) LinkBandwidth(a, b NodeID) int64 {
 // implementing the paper's footnote 4: LC requests may only be dispatched
 // to local or geo-nearby clusters (500 km in the production dataset).
 func (t *Topology) NeighborClusters(c ClusterID, maxKm float64) []ClusterID {
-	var out []ClusterID
+	return t.NeighborClustersInto(nil, c, maxKm)
+}
+
+// NeighborClustersInto is NeighborClusters appending into buf, so
+// callers that query the (static) neighbor list every period can reuse
+// one slice instead of allocating per call.
+func (t *Topology) NeighborClustersInto(buf []ClusterID, c ClusterID, maxKm float64) []ClusterID {
 	for _, other := range t.Clusters {
 		if other.ID == c {
 			continue
 		}
 		if t.DistanceKm(c, other.ID) <= maxKm {
-			out = append(out, other.ID)
+			buf = append(buf, other.ID)
 		}
 	}
-	return out
+	return buf
 }
 
 // WorkersOf returns the worker node IDs of a cluster.

@@ -40,4 +40,16 @@ if "$out/tango-bench" -compare -threshold 300 -alloc-threshold 300 "$snapA" "$ou
     echo "FAIL: -compare accepted a 10x solver regression" >&2
     exit 1
 fi
-echo "OK: bench gate passes clean runs and rejects the injected regression"
+
+# The solver hot path is allocation-free by contract, so the alloc gate
+# must also catch a regression from a ~zero baseline (the floor-based
+# 0 -> N rule in newAllocRow): doctor the Dijkstra phase back up to 512
+# allocs/op, roughly its pre-workspace cost.
+echo "== compare A vs alloc-doctored B (must fail) =="
+"$out/benchmut" -section solver_phases -phase solve/dijkstra -field allocs_op -set 512 \
+    "$snapB" "$out/bad-alloc.json"
+if "$out/tango-bench" -compare -threshold 300 -alloc-threshold 300 "$snapA" "$out/bad-alloc.json"; then
+    echo "FAIL: -compare accepted a 0 -> 512 allocs/op solver regression" >&2
+    exit 1
+fi
+echo "OK: bench gate passes clean runs and rejects injected time and alloc regressions"

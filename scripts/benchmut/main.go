@@ -1,9 +1,12 @@
 // Command benchmut doctors a perf snapshot for negative testing: it
-// multiplies one top-level numeric field by a factor and writes the
-// result, so bench_smoke.sh can prove `tango-bench -compare` actually
+// rewrites one numeric field — top-level, or inside one row of a phase
+// section — so bench_smoke.sh can prove `tango-bench -compare` actually
 // fails on a regression (not just passes on clean runs).
 //
-// Usage: benchmut -field solver_ns_op -scale 4 in.json out.json
+// Usage:
+//
+//	benchmut -field solver_ns_op -scale 4 in.json out.json
+//	benchmut -section solver_phases -phase solve/dijkstra -field allocs_op -set 512 in.json out.json
 package main
 
 import (
@@ -14,11 +17,20 @@ import (
 )
 
 func main() {
-	field := flag.String("field", "", "top-level numeric field to scale")
+	field := flag.String("field", "", "numeric field to rewrite")
 	scale := flag.Float64("scale", 1, "multiplier applied to the field")
+	set := flag.Float64("set", 0, "absolute value to write instead of scaling")
+	setGiven := false
+	section := flag.String("section", "", "phase section holding the field (e.g. solver_phases); empty = top level")
+	phase := flag.String("phase", "", "phase name within -section (e.g. solve/dijkstra)")
 	flag.Parse()
-	if *field == "" || flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchmut -field <name> -scale <f> in.json out.json")
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "set" {
+			setGiven = true
+		}
+	})
+	if *field == "" || flag.NArg() != 2 || (*section == "") != (*phase == "") {
+		fmt.Fprintln(os.Stderr, "usage: benchmut [-section <sec> -phase <name>] -field <name> (-scale <f> | -set <v>) in.json out.json")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))
@@ -29,11 +41,32 @@ func main() {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		fatal(err)
 	}
-	v, ok := doc[*field].(float64)
+	target := doc
+	if *section != "" {
+		rows, ok := doc[*section].([]any)
+		if !ok {
+			fatal(fmt.Errorf("section %q is not a phase list in %s", *section, flag.Arg(0)))
+		}
+		target = nil
+		for _, r := range rows {
+			if m, ok := r.(map[string]any); ok && m["phase"] == *phase {
+				target = m
+				break
+			}
+		}
+		if target == nil {
+			fatal(fmt.Errorf("phase %q not found in section %q", *phase, *section))
+		}
+	}
+	v, ok := target[*field].(float64)
 	if !ok {
 		fatal(fmt.Errorf("field %q is not a number in %s", *field, flag.Arg(0)))
 	}
-	doc[*field] = v * *scale
+	if setGiven {
+		target[*field] = *set
+	} else {
+		target[*field] = v * *scale
+	}
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fatal(err)
