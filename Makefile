@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench check fmt vet clean trace-smoke verify replay-smoke fuzz-smoke perf bench-smoke
+.PHONY: all build test race bench check fmt vet clean trace-smoke verify replay-smoke fuzz-smoke perf bench-smoke telemetry-smoke race-telemetry
 
 all: check
 
@@ -62,6 +62,17 @@ perf:
 # injected regression makes `tango-bench -compare` exit non-zero.
 bench-smoke:
 	sh scripts/bench_smoke.sh
+
+# Live-telemetry smoke: run tango-sim -listen, scrape /metrics /runinfo
+# /trace/tail, validate the exposition via tango-top, and check the
+# replay digests match a server-off run byte for byte.
+telemetry-smoke:
+	sh scripts/telemetry_smoke.sh
+
+# Fast race pass over just the telemetry plane (scrape-vs-emit,
+# tail-vs-hot-path); `make race` covers everything but takes far longer.
+race-telemetry:
+	$(GO) test -race ./internal/obs ./internal/telemetry
 
 clean:
 	$(GO) clean ./...

@@ -19,8 +19,10 @@ import (
 	"time"
 
 	"repro/cmd/internal/profcli"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +40,8 @@ func main() {
 		allocPct = flag.Float64("alloc-threshold", 10, "with -compare: allowed bytes/op and allocs/op growth in percent")
 		profile  = flag.String("pprof", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		listen   = flag.String("listen", "", "serve live telemetry (/metrics /healthz /runinfo /trace/tail) on this host:port (port 0 picks one)")
+		linger   = flag.Duration("linger", 0, "keep the telemetry server up this long after the suite finishes (requires -listen)")
 	)
 	flag.Parse()
 
@@ -116,6 +120,35 @@ func main() {
 		defer f.Close()
 		wsink = obs.NewWriterSink(f)
 		cfg.TraceSink = wsink
+	}
+	// Live telemetry: the tee wraps the suite's trace sink (or a null one)
+	// so /trace/tail streams whatever the file sink would record, and the
+	// OnSystem hook repoints /metrics at each experiment's system as the
+	// suite progresses — a scrape always sees the run in flight.
+	var tsrv *telemetry.Server
+	if *listen != "" {
+		if cfg.TraceSink == nil {
+			cfg.TraceSink = obs.NullSink{}
+		}
+		tee := obs.NewTeeSink(cfg.TraceSink, 512)
+		cfg.TraceSink = tee
+		var err error
+		tsrv, err = telemetry.Start(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: listening on http://%s\n", tsrv.Addr())
+		cfg.OnSystem = func(sys *core.System) {
+			tsrv.SetSource(sys.Metrics.Registry(), tee, telemetry.RunInfo{
+				System:     "tango-bench",
+				Scenario:   cfg.TraceTag,
+				Seed:       cfg.Seed,
+				PeriodMs:   float64(sys.Metrics.Period) / float64(time.Millisecond),
+				DurationMs: float64(cfg.Duration+cfg.Drain) / float64(time.Millisecond),
+				SampleRate: sys.Tracer.Sampler().Rate(),
+			})
+		}
 	}
 	stopProf, err := profcli.Start(*profile, *memprof)
 	if err != nil {
@@ -205,5 +238,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("report: %s (config digest %s)\n", *report, suite.Digest)
+	}
+	if tsrv != nil {
+		if *linger > 0 {
+			fmt.Printf("telemetry: lingering %s for late scrapes\n", *linger)
+			time.Sleep(*linger)
+		}
+		_ = tsrv.Close()
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/perf"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
@@ -45,6 +46,9 @@ func main() {
 		profile  = flag.String("pprof", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		perfOn   = flag.Bool("perf", false, "profile solver/engine/cgroup phases and Go runtime health; prints a phase table (excluded from -digest)")
+		listen   = flag.String("listen", "", "serve live telemetry (/metrics /healthz /runinfo /trace/tail) on this host:port (port 0 picks one)")
+		linger   = flag.Duration("linger", 0, "keep the telemetry server up this long after the run finishes (requires -listen)")
+		spanRate = flag.Float64("span-sample", 0, "deterministic head-based span sampling rate in (0,1]; 0 or 1 = record every span")
 	)
 	flag.Parse()
 
@@ -121,7 +125,7 @@ func main() {
 		defer f.Close()
 		wsink = obs.NewWriterSink(f)
 		opts.TraceSink = wsink
-	} else if *report != "" || *digest {
+	} else if *report != "" || *digest || *listen != "" {
 		opts.TraceSink = obs.NullSink{}
 	}
 	var dsink *obs.DigestSink
@@ -129,7 +133,15 @@ func main() {
 		dsink = obs.NewDigestSink(opts.TraceSink)
 		opts.TraceSink = dsink
 	}
+	// The live tee wraps the whole chain so /trace/tail sees exactly the
+	// stream the file/digest sinks record.
+	var tee *obs.TeeSink
+	if *listen != "" {
+		tee = obs.NewTeeSink(opts.TraceSink, 512)
+		opts.TraceSink = tee
+	}
 	opts.TraceTag = *system
+	opts.SpanSampleRate = *spanRate
 	opts.Verify = *verify
 	var prof *perf.Profiler
 	if *perfOn {
@@ -137,6 +149,17 @@ func main() {
 		// Label CPU samples by phase when both profiles are requested.
 		prof.SetLabels(*profile != "")
 		opts.Profiler = prof
+	}
+
+	var tsrv *telemetry.Server
+	if *listen != "" {
+		var err error
+		tsrv, err = telemetry.Start(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: listening on http://%s\n", tsrv.Addr())
 	}
 
 	fmt.Printf("system=%s pattern=%s clusters=%d workers=%d requests=%d (LC %d / BE %d)\n",
@@ -156,6 +179,16 @@ func main() {
 
 	start := time.Now()
 	sys := core.New(opts)
+	if tsrv != nil {
+		tsrv.SetSource(sys.Metrics.Registry(), tee, telemetry.RunInfo{
+			System:     *system,
+			Scenario:   *pattern,
+			Seed:       *seed,
+			PeriodMs:   float64(sys.Metrics.Period) / float64(time.Millisecond),
+			DurationMs: float64(*duration+*drain) / float64(time.Millisecond),
+			SampleRate: sys.Tracer.Sampler().Rate(),
+		})
+	}
 	sys.Inject(reqs)
 	sys.Run(*duration + *drain)
 	elapsed := time.Since(start)
@@ -247,6 +280,14 @@ func main() {
 			}
 			os.Exit(1)
 		}
+	}
+
+	if tsrv != nil {
+		if *linger > 0 {
+			fmt.Printf("telemetry: lingering %s for late scrapes\n", *linger)
+			time.Sleep(*linger)
+		}
+		_ = tsrv.Close()
 	}
 }
 

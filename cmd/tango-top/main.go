@@ -1,0 +1,218 @@
+// Command tango-top is a terminal dashboard over a live tango-sim or
+// tango-bench telemetry server (-listen): it polls /metrics, parses the
+// OpenMetrics exposition and renders φ per service, node queue depths,
+// solver warm-start health and perf_* runtime gauges, refreshing in
+// place like top(1).
+//
+// Usage:
+//
+//	tango-sim -listen 127.0.0.1:9090 -linger 1m &
+//	tango-top -url http://127.0.0.1:9090
+//	tango-top -url http://127.0.0.1:9090 -n 1   # one frame, no clearing
+//	                                            # (doubles as a scrape validator)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:9090", "telemetry server base URL")
+		interval = flag.Duration("interval", time.Second, "poll interval")
+		frames   = flag.Int("n", 0, "number of frames to render (0 = until interrupted; 1 = single frame, no screen clearing)")
+		nodes    = flag.Int("nodes", 10, "busiest nodes to show")
+	)
+	flag.Parse()
+	base := strings.TrimRight(*url, "/")
+
+	info := fetchRunInfo(base)
+	for i := 0; *frames == 0 || i < *frames; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		sc, err := scrape(base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tango-top: %v\n", err)
+			os.Exit(1)
+		}
+		clear := *frames != 1
+		render(os.Stdout, info, sc, *nodes, clear)
+	}
+}
+
+func fetchRunInfo(base string) telemetry.RunInfo {
+	var info telemetry.RunInfo
+	resp, err := http.Get(base + "/runinfo")
+	if err != nil {
+		return info
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	_ = json.Unmarshal(body, &info)
+	return info
+}
+
+func scrape(base string) (*telemetry.Scrape, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	sc, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("invalid OpenMetrics exposition: %w", err)
+	}
+	if !sc.SawEOF {
+		return nil, fmt.Errorf("truncated exposition (no # EOF)")
+	}
+	return sc, nil
+}
+
+func render(w io.Writer, info telemetry.RunInfo, sc *telemetry.Scrape, topNodes int, clear bool) {
+	if clear {
+		fmt.Fprint(w, "\x1b[H\x1b[2J")
+	}
+	fmt.Fprintf(w, "tango-top  system=%s scenario=%s seed=%d period=%.0fms sample=%.2f  %s\n\n",
+		info.System, info.Scenario, info.Seed, info.PeriodMs, info.SampleRate,
+		time.Now().Format("15:04:05"))
+
+	renderPhi(w, sc)
+	renderNodes(w, sc, topNodes)
+	renderSolver(w, sc)
+	renderPerf(w, sc)
+}
+
+func renderPhi(w io.Writer, sc *telemetry.Scrape) {
+	phis := sc.Select("tango_slo_phi")
+	if len(phis) == 0 {
+		fmt.Fprintln(w, "(no tango_slo_phi yet — first collection period pending)")
+		return
+	}
+	sort.Slice(phis, func(i, j int) bool { return phis[i].Label("service") < phis[j].Label("service") })
+	tb := metrics.NewTable("SLO satisfaction (φ)", "service", "phi", "rolling", "p95 ms")
+	for _, m := range phis {
+		svc := m.Label("service")
+		roll, _ := sc.Value("tango_slo_rolling_phi", map[string]string{"service": svc})
+		var p95 float64
+		if hs := sc.Select("tango_lc_latency_ms_bucket"); len(hs) > 0 {
+			p95 = bucketQuantile(hs, svc, 0.95)
+		}
+		tb.AddRowF(svc, fmt.Sprintf("%.4f", m.Value), fmt.Sprintf("%.4f", roll), fmt.Sprintf("%.1f", p95))
+	}
+	fmt.Fprintln(w, tb.String())
+}
+
+// bucketQuantile recomputes a quantile from the exposed cumulative
+// buckets of one service's latency histogram.
+func bucketQuantile(buckets []telemetry.Metric, svc string, q float64) float64 {
+	type bkt struct {
+		le  float64
+		cum float64
+	}
+	var bs []bkt
+	for _, m := range buckets {
+		if m.Label("service") != svc {
+			continue
+		}
+		le := m.Label("le")
+		if le == "+Inf" {
+			continue
+		}
+		var ub float64
+		fmt.Sscanf(le, "%g", &ub)
+		bs = append(bs, bkt{ub, m.Value})
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+	if len(bs) == 0 || bs[len(bs)-1].cum == 0 {
+		return 0
+	}
+	total, _ := bucketsTotal(buckets, svc)
+	rank := q * total
+	prevCum, prevLe := 0.0, 0.0
+	for _, b := range bs {
+		if b.cum >= rank && b.cum > prevCum {
+			return prevLe + (b.le-prevLe)*(rank-prevCum)/(b.cum-prevCum)
+		}
+		prevCum, prevLe = b.cum, b.le
+	}
+	return bs[len(bs)-1].le
+}
+
+func bucketsTotal(buckets []telemetry.Metric, svc string) (float64, bool) {
+	for _, m := range buckets {
+		if m.Label("service") == svc && m.Label("le") == "+Inf" {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+func renderNodes(w io.Writer, sc *telemetry.Scrape, topNodes int) {
+	queues := sc.Select("tango_node_queue_len")
+	if len(queues) == 0 {
+		return
+	}
+	sort.Slice(queues, func(i, j int) bool {
+		if queues[i].Value != queues[j].Value {
+			return queues[i].Value > queues[j].Value
+		}
+		a := queues[i].Label("cluster") + "/" + queues[i].Label("node")
+		b := queues[j].Label("cluster") + "/" + queues[j].Label("node")
+		return a < b
+	})
+	if len(queues) > topNodes {
+		queues = queues[:topNodes]
+	}
+	tb := metrics.NewTable(fmt.Sprintf("busiest nodes (top %d by queue depth)", len(queues)),
+		"cluster", "node", "queue", "util")
+	for _, m := range queues {
+		util, _ := sc.Value("tango_node_utilization",
+			map[string]string{"cluster": m.Label("cluster"), "node": m.Label("node")})
+		tb.AddRowF(m.Label("cluster"), m.Label("node"), int64(m.Value), fmt.Sprintf("%.2f", util))
+	}
+	fmt.Fprintln(w, tb.String())
+}
+
+func renderSolver(w io.Writer, sc *telemetry.Scrape) {
+	solves, ok := sc.Value("tango_solver_solves_total", nil)
+	if !ok {
+		return
+	}
+	hits, _ := sc.Value("tango_solver_warm_hits_total", nil)
+	rate, _ := sc.Value("tango_solver_warm_hit_rate", nil)
+	fmt.Fprintf(w, "solver: %d solves, %d warm hits (%.1f%% warm-hit rate)\n\n",
+		int64(solves), int64(hits), rate*100)
+}
+
+func renderPerf(w io.Writer, sc *telemetry.Scrape) {
+	var perf []telemetry.Metric
+	for _, m := range sc.Samples {
+		if strings.HasPrefix(m.Name, "perf_") {
+			perf = append(perf, m)
+		}
+	}
+	if len(perf) == 0 {
+		return
+	}
+	sort.Slice(perf, func(i, j int) bool { return perf[i].Name < perf[j].Name })
+	tb := metrics.NewTable("runtime health (perf_* gauges)", "metric", "value")
+	for _, m := range perf {
+		tb.AddRowF(m.Name, fmt.Sprintf("%.4g", m.Value))
+	}
+	fmt.Fprintln(w, tb.String())
+}

@@ -91,6 +91,19 @@ func load(fs *flag.FlagSet, tag string) (*tanalysis.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	if t.TruncatedTail {
+		fmt.Fprintln(os.Stderr, "tango-trace: warning: trace ends mid-line (producer crashed or still writing); partial tail discarded")
+	}
+	if t.Empty() {
+		src := "stdin"
+		if fs.NArg() == 1 {
+			src = fs.Arg(0)
+		}
+		if t.Skipped > 0 {
+			return nil, fmt.Errorf("no trace records in %s: %d line(s) present but none parsed as span/event/decision (is this a Tango NDJSON trace?)", src, t.Skipped)
+		}
+		return nil, fmt.Errorf("no trace records in %s: stream is empty (did the run use -trace?)", src)
+	}
 	if tag != "" {
 		t = t.FilterTag(tag)
 		if len(t.Spans)+len(t.Events)+len(t.Decisions) == 0 {

@@ -100,6 +100,13 @@ type Options struct {
 	TraceSink obs.Sink
 	// TraceTag stamps every event (distinguishes systems sharing a sink).
 	TraceTag string
+	// SpanSampleRate, when in (0,1], installs a deterministic head-based
+	// span sampler keyed by (request ID, Seed): each request's whole span
+	// tree is kept or dropped atomically, reproducibly per seed. 0 (the
+	// default) and 1 both record every span — a rate-1.0 run is
+	// byte-identical to an unsampled one. Events and decision records are
+	// never sampled.
+	SpanSampleRate float64
 
 	// Verify enables the differential-verification layer: a
 	// check.Verifier sweeps the engine's internal accounting and the SLO
@@ -197,6 +204,9 @@ func New(o Options) *System {
 	if o.TraceSink != nil {
 		s.Tracer = obs.NewTracer(s.Sim.Now, o.TraceSink)
 		s.Tracer.SetTag(o.TraceTag)
+		if o.SpanSampleRate > 0 {
+			s.Tracer.SetSampler(obs.NewSampler(o.SpanSampleRate, o.Seed))
+		}
 	}
 	s.Engine = engine.New(engine.Config{
 		Sim: s.Sim, Topo: o.Topo, Catalog: o.Catalog, Policy: o.Policy,
@@ -499,6 +509,9 @@ type Collector struct {
 	clusterStats   map[topo.ClusterID]*clusterStats
 	latencyHists   map[trace.TypeID]*obs.Histogram
 	nodeGauges     []nodeGauges
+	phiGauges      map[int]phiGauges
+	solverGauges   *solverGauges
+	gatherBuf      []obs.Sample // reused across scrapes (zero-alloc Gather)
 
 	// Performance observability (nil unless Options.Profiler was set):
 	// each tick samples Go runtime/metrics into perf_* gauges, which the
@@ -518,6 +531,20 @@ type Collector struct {
 	allLatencies         []float64
 	sumLCLatenciesMs     float64
 	completedLCLatencies int64
+}
+
+// phiGauges caches one service's live SLO gauges.
+type phiGauges struct {
+	phi     *obs.Gauge
+	rolling *obs.Gauge
+}
+
+// solverGauges caches the DSS-LC solver health gauges (warm-start hit
+// rate is the headline statistic of the MCNF warm-start optimisation).
+type solverGauges struct {
+	solves   *obs.Gauge
+	warmHits *obs.Gauge
+	warmRate *obs.Gauge
 }
 
 // clusterStats caches the per-cluster counter handles so the arrival and
@@ -665,8 +692,59 @@ func (c *Collector) tick() {
 	c.pLCArr, c.pBEArr, c.pLCSat, c.pLCDone, c.pBEDone, c.pAbandoned = 0, 0, 0, 0, 0, 0
 	c.latencies = c.latencies[:0]
 	c.updateNodeGauges()
+	c.updateSLOGauges()
+	c.updateSolverGauges()
 	c.sampleRuntime()
 	c.scrape()
+}
+
+// updateSLOGauges refreshes the per-service φ gauges from the SLO
+// accountant. Pure simulation state, so the series it adds are as
+// replay-deterministic as every other tango_* metric.
+func (c *Collector) updateSLOGauges() {
+	if c.phiGauges == nil {
+		c.phiGauges = map[int]phiGauges{}
+	}
+	for _, s := range c.sys.SLO.Services() {
+		g, ok := c.phiGauges[s.Service]
+		if !ok {
+			l := obs.Labels{Service: s.Name}
+			g = phiGauges{
+				phi:     c.registry.Gauge("tango_slo_phi", l),
+				rolling: c.registry.Gauge("tango_slo_rolling_phi", l),
+			}
+			c.phiGauges[s.Service] = g
+		}
+		g.phi.Set(s.Phi())
+		g.rolling.Set(s.RollingPhi())
+	}
+}
+
+// updateSolverGauges refreshes the DSS-LC solver health gauges (no-op
+// for baseline schedulers and before the first solve).
+func (c *Collector) updateSolverGauges() {
+	lc, ok := c.sys.lcSched.(*dsslc.Scheduler)
+	if !ok {
+		return
+	}
+	ws := lc.Workspace()
+	if ws == nil {
+		return
+	}
+	if c.solverGauges == nil {
+		c.solverGauges = &solverGauges{
+			solves:   c.registry.Gauge("tango_solver_solves_total", obs.Labels{}),
+			warmHits: c.registry.Gauge("tango_solver_warm_hits_total", obs.Labels{}),
+			warmRate: c.registry.Gauge("tango_solver_warm_hit_rate", obs.Labels{}),
+		}
+	}
+	c.solverGauges.solves.Set(float64(ws.Solves))
+	c.solverGauges.warmHits.Set(float64(ws.WarmHits))
+	rate := 0.0
+	if ws.Solves > 0 {
+		rate = float64(ws.WarmHits) / float64(ws.Solves)
+	}
+	c.solverGauges.warmRate.Set(rate)
 }
 
 // sampleRuntime reads the Go runtime/metrics harvester into perf_*
@@ -720,7 +798,8 @@ func (c *Collector) scrape() {
 	if periods < 0 {
 		periods = 0
 	}
-	for _, s := range c.registry.Gather() {
+	c.gatherBuf = c.registry.GatherAppend(c.gatherBuf[:0])
+	for _, s := range c.gatherBuf {
 		key := s.Key()
 		ser, ok := c.RegistrySeries[key]
 		if !ok {

@@ -239,12 +239,17 @@ func (e *Engine) Dispatch(r *Request, target topo.NodeID) {
 			Service(int(r.Type)).Cls(r.Class.String()).Val(float64(delay) / float64(time.Millisecond)))
 		now := e.cfg.Sim.Now()
 		if r.SpanID == 0 {
-			r.SpanID = tr.NewSpanID()
+			// Root-span reservation is the head-based sampling point:
+			// RequestSpanID returns 0 for sampled-out requests, which every
+			// downstream span site treats as "no tracing for this request".
+			r.SpanID = tr.RequestSpanID(r.ID)
 		}
-		tr.EmitSpan(obs.Sp(obs.SpanSched, r.mark, now).Child(r.SpanID).Req(r.ID).
-			Clu(int(r.Cluster)).Node(int(target)).Service(int(r.Type)).
-			Cls(r.Class.String()).Dec(r.DecisionID))
-		r.mark = now
+		if r.SpanID != 0 {
+			tr.EmitSpan(obs.Sp(obs.SpanSched, r.mark, now).Child(r.SpanID).Req(r.ID).
+				Clu(int(r.Cluster)).Node(int(target)).Service(int(r.Type)).
+				Cls(r.Class.String()).Dec(r.DecisionID))
+			r.mark = now
+		}
 	}
 	e.cfg.Sim.Schedule(delay, func() {
 		n.inTransit = n.inTransit.Sub(d)
@@ -266,12 +271,14 @@ func (e *Engine) DispatchLocal(r *Request, target topo.NodeID) {
 	if tr := e.trc; tr.Enabled() {
 		now := e.cfg.Sim.Now()
 		if r.SpanID == 0 {
-			r.SpanID = tr.NewSpanID()
+			r.SpanID = tr.RequestSpanID(r.ID)
 		}
-		tr.EmitSpan(obs.Sp(obs.SpanSched, r.mark, now).Child(r.SpanID).Req(r.ID).
-			Clu(int(r.Cluster)).Node(int(target)).Service(int(r.Type)).
-			Cls(r.Class.String()).Dec(r.DecisionID))
-		r.mark = now
+		if r.SpanID != 0 {
+			tr.EmitSpan(obs.Sp(obs.SpanSched, r.mark, now).Child(r.SpanID).Req(r.ID).
+				Clu(int(r.Cluster)).Node(int(target)).Service(int(r.Type)).
+				Cls(r.Class.String()).Dec(r.DecisionID))
+			r.mark = now
+		}
 	}
 	n.arrive(r)
 }

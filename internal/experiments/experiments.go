@@ -44,6 +44,10 @@ type Config struct {
 	// so runs sharing one sink stay distinguishable.
 	TraceSink obs.Sink
 	TraceTag  string
+	// OnSystem, when set, observes every system right after construction
+	// and before any request is injected — the hook a live telemetry
+	// server uses to point /metrics at the run currently executing.
+	OnSystem func(*core.System)
 }
 
 // apply threads the experiment-level observability settings into one
@@ -153,6 +157,9 @@ func (c Config) traceLoad(t *topo.Topology, p trace.Pattern, lcFrac, beFrac floa
 // run executes one system over a request trace and returns it finished.
 func (c Config) run(o core.Options, reqs []trace.Request, until time.Duration) *core.System {
 	sys := core.New(c.apply(o))
+	if c.OnSystem != nil {
+		c.OnSystem(sys)
+	}
 	sys.Inject(reqs)
 	sys.Run(until)
 	return sys

@@ -29,6 +29,9 @@ func Failover(cfg Config) *Result {
 
 	runWith := func(o core.Options) (*core.System, core.Summary) {
 		sys := core.New(cfg.apply(o))
+		if cfg.OnSystem != nil {
+			cfg.OnSystem(sys)
+		}
 		sys.Inject(reqs)
 		for _, v := range tp.Cluster(0).Workers[:2] {
 			sys.FailNode(v, failAt)
@@ -44,6 +47,9 @@ func Failover(cfg Config) *Result {
 	cleanOpts := core.Tango(tp, cfg.Seed)
 	cleanOpts.TraceTag = cfg.TraceTag + "/clean"
 	clean := core.New(cfg.apply(cleanOpts))
+	if cfg.OnSystem != nil {
+		cfg.OnSystem(clean)
+	}
 	clean.Inject(reqs)
 	clean.Run(cfg.Duration + cfg.Drain)
 

@@ -358,6 +358,26 @@ type Tracer struct {
 	decSeq    int64
 	spans     uint64
 	decisions uint64
+
+	// sampler, when set, gates root span reservation per request
+	// (RequestSpanID in span.go). Nil keeps every span.
+	sampler *Sampler
+}
+
+// SetSampler installs a head-based span sampler (nil keeps every
+// span). Safe on a nil receiver.
+func (t *Tracer) SetSampler(s *Sampler) {
+	if t != nil {
+		t.sampler = s
+	}
+}
+
+// Sampler returns the installed span sampler (nil when unsampled).
+func (t *Tracer) Sampler() *Sampler {
+	if t == nil {
+		return nil
+	}
+	return t.sampler
 }
 
 // NewTracer builds a tracer over a virtual clock and a sink. A nil sink

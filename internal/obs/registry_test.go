@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -78,8 +79,8 @@ func TestHistogramQuantile(t *testing.T) {
 	if q := h.Quantile(1); q != 40 {
 		t.Fatalf("q100 = %v, want clamp to 40", q)
 	}
-	if q := (&Histogram{}).Quantile(0.5); q != 0 {
-		t.Fatalf("empty histogram quantile = %v", q)
+	if q := (&Histogram{}).Quantile(0.5); !math.IsNaN(q) {
+		t.Fatalf("empty histogram quantile = %v, want NaN", q)
 	}
 }
 
@@ -89,12 +90,16 @@ func TestHistogramQuantileEdgeCases(t *testing.T) {
 		return r.Histogram("lat_ms", Labels{}, []float64{10, 20, 40})
 	}
 
-	// Empty histogram: every quantile is 0, including out-of-range q.
+	// Empty histogram: every quantile is explicitly NaN — never a panic,
+	// never a fabricated 0 — including out-of-range q.
 	empty := mk()
 	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
-		if v := empty.Quantile(q); v != 0 {
-			t.Fatalf("empty Quantile(%v) = %v, want 0", q, v)
+		if v := empty.Quantile(q); !math.IsNaN(v) {
+			t.Fatalf("empty Quantile(%v) = %v, want NaN", q, v)
 		}
+	}
+	if v := empty.Mean(); !math.IsNaN(v) {
+		t.Fatalf("empty Mean = %v, want NaN", v)
 	}
 
 	// q <= 0 clamps to the lower edge of the first occupied bucket,
@@ -135,6 +140,170 @@ func TestHistogramQuantileEdgeCases(t *testing.T) {
 		if v := over.Quantile(q); v != 40 {
 			t.Fatalf("overflow-only Quantile(%v) = %v, want clamp to 40", q, v)
 		}
+	}
+}
+
+func TestHistogramNaNObserve(t *testing.T) {
+	h := NewHistogram([]float64{10, 20})
+	h.Observe(5)
+	h.Observe(math.NaN())
+	h.Observe(15)
+	h.Observe(math.NaN())
+	if got := h.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2 (NaN observations must not count)", got)
+	}
+	if got := h.Sum(); got != 20 {
+		t.Fatalf("sum = %v, want 20 (NaN observations must not corrupt sum)", got)
+	}
+	if got := h.NaNs(); got != 2 {
+		t.Fatalf("NaNs = %d, want 2", got)
+	}
+	if q := h.Quantile(math.NaN()); !math.IsNaN(q) {
+		t.Fatalf("Quantile(NaN) = %v, want NaN", q)
+	}
+	if q := h.Quantile(0.5); math.IsNaN(q) {
+		t.Fatalf("Quantile(0.5) = NaN after NaN observes, want finite")
+	}
+}
+
+func TestGatherAppendZeroAllocSteadyState(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", Labels{Cluster: "c0"})
+	g := r.Gauge("util", Labels{Node: "1"})
+	h := r.Histogram("lat", Labels{Service: "lc"}, []float64{1, 2, 4})
+	c.Inc()
+	g.Set(0.4)
+	h.Observe(1.5)
+
+	buf := r.GatherAppend(nil)
+	want := r.Gather()
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(2.5)
+		buf = r.GatherAppend(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("GatherAppend steady state allocates %.1f/op, want 0", allocs)
+	}
+	if len(buf) != len(want) {
+		t.Fatalf("reused-buffer gather lost samples: %d vs %d", len(buf), len(want))
+	}
+	for i := range buf {
+		if buf[i].Key() != want[i].Key() {
+			t.Fatalf("sample %d key %q != %q", i, buf[i].Key(), want[i].Key())
+		}
+	}
+}
+
+func TestSampleKeyCached(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", Labels{Cluster: "c0", Service: "lc"}).Inc()
+	s := r.Gather()[0]
+	allocs := testing.AllocsPerRun(100, func() {
+		if s.Key() == "" {
+			t.Fatal("empty key")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cached Sample.Key allocates %.1f/op, want 0", allocs)
+	}
+	// Hand-built samples still render on demand.
+	hand := Sample{Name: "x", Labels: Labels{Node: "2"}}
+	if got := hand.Key(); got != `x{node="2"}` {
+		t.Fatalf("fallback key = %q", got)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", Labels{Cluster: "c0"}).Add(3)
+	r.Gauge("a_util", Labels{Node: "1"}).Set(0.25)
+	h := r.Histogram("lat", Labels{Service: "lc"}, []float64{10, 20})
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(100)
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("families = %d, want 3", len(snap))
+	}
+	if snap[0].Name != "a_util" || snap[0].Kind != "gauge" {
+		t.Fatalf("family 0 = %s/%s", snap[0].Name, snap[0].Kind)
+	}
+	if snap[1].Name != "b_total" || snap[1].Kind != "counter" {
+		t.Fatalf("family 1 = %s/%s", snap[1].Name, snap[1].Kind)
+	}
+	if snap[1].Members[0].Value != 3 || snap[1].Members[0].LabelStr != `{cluster="c0"}` {
+		t.Fatalf("counter member = %+v", snap[1].Members[0])
+	}
+	lat := snap[2]
+	if lat.Name != "lat" || lat.Kind != "histogram" || lat.Members[0].Hist == nil {
+		t.Fatalf("histogram family = %+v", lat)
+	}
+	hs := lat.Members[0].Hist
+	if hs.Count != 3 || hs.Sum != 120 {
+		t.Fatalf("hist snapshot count/sum = %d/%v", hs.Count, hs.Sum)
+	}
+	if len(hs.Counts) != 3 || hs.Counts[0] != 1 || hs.Counts[1] != 1 || hs.Counts[2] != 1 {
+		t.Fatalf("hist buckets = %v", hs.Counts)
+	}
+	// Snapshot is a copy: later observations must not leak in.
+	h.Observe(1)
+	if hs.Count != 3 {
+		t.Fatal("snapshot aliases live histogram state")
+	}
+}
+
+// TestConcurrentScrapeVsEmit exercises the scrape-races-engine contract
+// under the race detector: writers hammer counters/gauges/histograms
+// (and create new series) while readers Gather and Snapshot.
+func TestConcurrentScrapeVsEmit(t *testing.T) {
+	r := NewRegistry()
+	const writers, iters = 4, 2000
+	var writerWG, scraperWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			c := r.Counter("reqs_total", Labels{Cluster: "c0"})
+			g := r.Gauge("util", Labels{Node: "0"})
+			h := r.Histogram("lat", Labels{}, nil)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 100))
+				if i%500 == 0 { // structural churn: new series mid-scrape
+					r.Gauge("late", Labels{Node: string(rune('a' + w))}).Set(float64(i))
+				}
+			}
+		}(w)
+	}
+	scraperWG.Add(1)
+	go func() {
+		defer scraperWG.Done()
+		var buf []Sample
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			buf = r.GatherAppend(buf[:0])
+			_ = r.Snapshot()
+		}
+	}()
+
+	writerWG.Wait()
+	close(stop)
+	scraperWG.Wait()
+
+	if got := r.Counter("reqs_total", Labels{Cluster: "c0"}).Value(); got != writers*iters {
+		t.Fatalf("counter = %v, want %d (lost updates under contention)", got, writers*iters)
+	}
+	if got := r.Histogram("lat", Labels{}, nil).Count(); got != writers*iters {
+		t.Fatalf("histogram count = %v, want %d", got, writers*iters)
 	}
 }
 

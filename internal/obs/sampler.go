@@ -1,0 +1,81 @@
+package obs
+
+// Deterministic head-based span sampling.
+//
+// At 1M-request scale always-on span tracing writes ~7 span lines per
+// request; head-based sampling keeps a reproducible subset instead of
+// throttling blindly. The decision is made once per request — at root
+// span reservation — from a pure hash of (ReqID, seed), so:
+//
+//   - every span of a request is kept or dropped atomically (no broken
+//     span trees, the tiling contract holds for every sampled request);
+//   - the same scenario+seed replays the same sample set byte-for-byte
+//     (the replay-digest contract extends to sampled streams);
+//   - rate 1.0 keeps everything and the emitted stream is byte-identical
+//     to a run without any sampler attached.
+//
+// Point events and decision audit records are never sampled: they are
+// what the metrics/φ accounting is built from and are far cheaper than
+// span trees.
+
+// Sampler decides, per request, whether its span tree is recorded.
+type Sampler struct {
+	rate float64
+	// keep is the inclusive upper bound on the 64-bit request hash; a
+	// request is sampled when hash <= keep.
+	keep uint64
+	seed uint64
+}
+
+// NewSampler builds a head-based sampler keeping approximately `rate`
+// (clamped to [0,1]) of requests, keyed by a hash of the request ID and
+// the run seed. rate >= 1 keeps everything, rate <= 0 nothing.
+func NewSampler(rate float64, seed int64) *Sampler {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	s := &Sampler{rate: rate, seed: uint64(seed)}
+	if rate > 0 {
+		// rate*2^64-1 without float overflow at rate 1.0.
+		s.keep = uint64(rate * float64(1<<32) * float64(1<<32))
+		if rate == 1 {
+			s.keep = ^uint64(0)
+		}
+	}
+	return s
+}
+
+// Rate returns the configured sampling rate after clamping.
+func (s *Sampler) Rate() float64 {
+	if s == nil {
+		return 1
+	}
+	return s.rate
+}
+
+// Sampled reports whether the request's spans are recorded. Pure in
+// (reqID, seed), so replays and re-asks agree. Nil-safe (true: no
+// sampler means keep everything).
+func (s *Sampler) Sampled(reqID int64) bool {
+	if s == nil || s.rate >= 1 {
+		return true
+	}
+	if s.rate <= 0 {
+		return false
+	}
+	return mix64(uint64(reqID)^(s.seed*0x9E3779B97F4A7C15)) <= s.keep
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mix so consecutive request IDs map to independent sample decisions.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriterSinkShortWriteMidEvent drives the bufio layer past its
+// buffer with oversized events against a writer that accepts a partial
+// write and then fails: the error must surface during Record (not only
+// at Flush), every subsequent record must count as dropped, and the
+// first error must stay sticky.
+func TestWriterSinkShortWriteMidEvent(t *testing.T) {
+	sink := NewWriterSink(&failingWriter{budget: 100})
+	tr := NewTracer(fixedClock(0), sink)
+	big := strings.Repeat("x", 8<<10)
+	for i := 0; i < 20; i++ { // ~160 KiB total: forces mid-run flushes
+		tr.Emit(Ev(EvStart).Req(int64(i)).Note(big))
+	}
+	if sink.Err() == nil {
+		t.Fatal("short write mid-stream not surfaced before Flush")
+	}
+	if sink.Dropped == 0 {
+		t.Fatal("short write did not count dropped records")
+	}
+
+	// Write-after-error: the bufio error is sticky, so every further
+	// record is dropped and accounted — none silently vanish.
+	dropsAtErr, linesAtErr := sink.Dropped, sink.Lines
+	for i := 0; i < 3; i++ {
+		tr.Emit(Ev(EvStart).Req(int64(100 + i)))
+	}
+	if sink.Dropped != dropsAtErr+3 {
+		t.Fatalf("post-error drops = %d, want %d", sink.Dropped, dropsAtErr+3)
+	}
+	if sink.Lines != linesAtErr {
+		t.Fatalf("post-error records counted as written: %d -> %d", linesAtErr, sink.Lines)
+	}
+	if err := sink.Flush(); err == nil {
+		t.Fatal("Flush after failure must keep returning the error")
+	}
+}
+
+// TestRingSinkOrderingAfterMultipleWraps pins Events() emission order
+// through several full wraparounds, including the exact-boundary case.
+func TestRingSinkOrderingAfterMultipleWraps(t *testing.T) {
+	s := NewRingSink(4)
+	rec := func(n int) {
+		for i := 0; i < n; i++ {
+			ev := Ev(EvArrival)
+			ev.Seq = s.Total()
+			s.Record(*ev)
+		}
+	}
+
+	rec(11) // 2 wraps + 3: retained must be 7,8,9,10
+	evs := s.Events()
+	if s.Total() != 11 || len(evs) != 4 {
+		t.Fatalf("total=%d len=%d", s.Total(), len(evs))
+	}
+	for i, want := range []uint64{7, 8, 9, 10} {
+		if evs[i].Seq != want {
+			t.Fatalf("after 2.75 wraps: evs[%d].Seq = %d, want %d", i, evs[i].Seq, want)
+		}
+	}
+
+	rec(1) // lands exactly on a wrap boundary: retained 8,9,10,11
+	evs = s.Events()
+	for i, want := range []uint64{8, 9, 10, 11} {
+		if evs[i].Seq != want {
+			t.Fatalf("at boundary: evs[%d].Seq = %d, want %d", i, evs[i].Seq, want)
+		}
+	}
+
+	// The span ring wraps independently with the same ordering contract.
+	for i := 0; i < 10; i++ {
+		s.RecordSpan(Span{ID: uint64(i + 1), Name: "request"})
+	}
+	sps := s.Spans()
+	if len(sps) != 4 {
+		t.Fatalf("span ring len = %d, want 4", len(sps))
+	}
+	for i, want := range []uint64{7, 8, 9, 10} {
+		if sps[i].ID != want {
+			t.Fatalf("span ring: sps[%d].ID = %d, want %d", i, sps[i].ID, want)
+		}
+	}
+}

@@ -1,9 +1,19 @@
 package obs
 
 import (
+	"math"
 	"sort"
 	"time"
 )
+
+// finiteOrZero maps the NaN an empty Histogram quantile reports to 0,
+// keeping JSON report documents finite.
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
 
 // Per-service SLO accounting: rolling Φ over a sliding window, run-level
 // latency percentiles from a Histogram, and violation episodes — maximal
@@ -132,7 +142,7 @@ func (a *SLOAccountant) service(svc int, name, class string) *ServiceSLO {
 	s, ok := a.services[svc]
 	if !ok {
 		s = &ServiceSLO{Service: svc, Name: name, Class: class,
-			Latency: &Histogram{bounds: DefLatencyBuckets, counts: make([]uint64, len(DefLatencyBuckets)+1)}}
+			Latency: NewHistogram(nil)}
 		a.services[svc] = s
 		a.order = append(a.order, svc)
 	}
@@ -287,7 +297,8 @@ func (a *SLOAccountant) Snapshot() []SLOReport {
 			Resolved: s.Resolved, Completed: s.Completed,
 			Satisfied: s.Satisfied, Violated: s.Violated,
 			Phi: s.Phi(), RollingPhi: s.RollingPhi(),
-			P95Ms: s.Latency.Quantile(0.95), P99Ms: s.Latency.Quantile(0.99),
+			P95Ms: finiteOrZero(s.Latency.Quantile(0.95)),
+			P99Ms: finiteOrZero(s.Latency.Quantile(0.99)),
 		}
 		for _, ep := range s.Episodes {
 			r.Episodes = append(r.Episodes, EpisodeReport{

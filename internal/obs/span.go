@@ -348,6 +348,24 @@ func (t *Tracer) NewSpanID() uint64 {
 	return t.spanSeq
 }
 
+// RequestSpanID reserves the root span ID for a request, honoring the
+// installed head-based sampler: an unsampled request gets 0 (the "no
+// span" sentinel every child-span emission site already guards on), so
+// its whole span tree is skipped atomically. Deterministic — re-asking
+// for the same request returns the same decision — and with no sampler
+// (or rate 1.0) it is exactly NewSpanID, so unsampled runs emit
+// byte-identical streams. Safe on a nil receiver.
+func (t *Tracer) RequestSpanID(reqID int64) uint64 {
+	if t == nil {
+		return 0
+	}
+	if !t.sampler.Sampled(reqID) {
+		return 0
+	}
+	t.spanSeq++
+	return t.spanSeq
+}
+
 // EmitSpan stamps the span (ID when unset, tag), bumps the span counter
 // and forwards a copy to the sink when it understands spans. Safe on a
 // nil receiver. Like Emit, the pointer parameter does not escape.

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func teeEvent(seq uint64) Event {
+	ev := *Ev(EvArrival).Req(int64(seq)).Clu(0)
+	ev.Seq = seq
+	ev.At = time.Duration(seq) * time.Millisecond
+	return ev
+}
+
+func TestTeeSinkForwardsAndStreams(t *testing.T) {
+	ring := NewRingSink(16)
+	tee := NewTeeSink(ring, 0)
+	sub := tee.Subscribe(16, false)
+
+	tee.Record(teeEvent(1))
+	tee.RecordSpan(Span{ID: 7, Name: "request", ReqID: 1, Cluster: -1, NodeID: -1, Svc: -1})
+	tee.RecordDecision(Decision{ID: 3, Algo: "DSS-LC", Cluster: -1, Svc: -1})
+
+	// Primary sink saw everything (tee must not perturb the chain).
+	if got := len(ring.Events()); got != 1 {
+		t.Fatalf("ring events = %d, want 1", got)
+	}
+	if got := len(ring.Spans()); got != 1 {
+		t.Fatalf("ring spans = %d, want 1", got)
+	}
+
+	// Subscriber got one valid NDJSON line per record.
+	sub.Close()
+	var lines [][]byte
+	for line := range sub.Lines() {
+		lines = append(lines, line)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("subscriber lines = %d, want 3", len(lines))
+	}
+	for i, line := range lines {
+		if !bytes.HasSuffix(line, []byte("\n")) {
+			t.Fatalf("line %d not newline-terminated: %q", i, line)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("line %d invalid JSON: %v (%q)", i, err, line)
+		}
+	}
+	if tee.Lines() != 3 || tee.Dropped() != 0 {
+		t.Fatalf("lines/dropped = %d/%d, want 3/0", tee.Lines(), tee.Dropped())
+	}
+}
+
+func TestTeeSinkSlowReaderDropsNotStalls(t *testing.T) {
+	tee := NewTeeSink(nil, 0)
+	sub := tee.Subscribe(4, false) // tiny buffer, nobody reading
+
+	const n = 100
+	done := make(chan struct{})
+	go func() {
+		for i := uint64(0); i < n; i++ {
+			tee.Record(teeEvent(i))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("emitter stalled behind a slow subscriber")
+	}
+
+	if got := sub.Dropped(); got != n-4 {
+		t.Fatalf("subscriber dropped = %d, want %d", got, n-4)
+	}
+	if got := tee.Dropped(); got != n-4 {
+		t.Fatalf("aggregate dropped = %d, want %d", got, n-4)
+	}
+	sub.Close()
+	got := 0
+	for range sub.Lines() {
+		got++
+	}
+	if got != 4 {
+		t.Fatalf("delivered lines = %d, want 4", got)
+	}
+}
+
+func TestTeeSinkBacklogReplay(t *testing.T) {
+	tee := NewTeeSink(nil, 8)
+	for i := uint64(0); i < 20; i++ {
+		tee.Record(teeEvent(i))
+	}
+	// Late subscriber asking for backlog sees the most recent 8 lines,
+	// oldest first.
+	sub := tee.Subscribe(16, true)
+	sub.Close()
+	var seqs []uint64
+	for line := range sub.Lines() {
+		var m struct {
+			Seq uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, m.Seq)
+	}
+	if len(seqs) != 8 {
+		t.Fatalf("backlog lines = %d, want 8", len(seqs))
+	}
+	for i, s := range seqs {
+		if want := uint64(12 + i); s != want {
+			t.Fatalf("backlog[%d] seq = %d, want %d", i, s, want)
+		}
+	}
+
+	// A subscriber without backlog starts empty.
+	fresh := tee.Subscribe(16, false)
+	fresh.Close()
+	for range fresh.Lines() {
+		t.Fatal("no-backlog subscriber received history")
+	}
+}
+
+func TestTeeSinkCloseIdempotentAndCounts(t *testing.T) {
+	tee := NewTeeSink(nil, 0)
+	a := tee.Subscribe(4, false)
+	b := tee.Subscribe(4, false)
+	if got := tee.Subscribers(); got != 2 {
+		t.Fatalf("subscribers = %d, want 2", got)
+	}
+	a.Close()
+	a.Close() // must not panic or double-close the channel
+	if got := tee.Subscribers(); got != 1 {
+		t.Fatalf("subscribers after close = %d, want 1", got)
+	}
+	tee.Record(teeEvent(1))
+	b.Close()
+	got := 0
+	for range b.Lines() {
+		got++
+	}
+	if got != 1 {
+		t.Fatalf("surviving subscriber lines = %d, want 1", got)
+	}
+}
+
+// TestTeeSinkConcurrent hammers Record against Subscribe/read/Close
+// under the race detector.
+func TestTeeSinkConcurrent(t *testing.T) {
+	tee := NewTeeSink(NewRingSink(64), 32)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				tee.Record(teeEvent(i))
+			}
+		}
+	}()
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sub := tee.Subscribe(8, i%2 == 0)
+				for drained := 0; drained < 20; drained++ {
+					select { // never block: the emitter may already be done
+					case _, ok := <-sub.Lines():
+						if !ok {
+							drained = 20
+						}
+					default:
+					}
+				}
+				sub.Close()
+			}
+		}()
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if tee.Subscribers() != 0 {
+		t.Fatalf("leaked subscribers: %d", tee.Subscribers())
+	}
+}

@@ -8,6 +8,7 @@ package tanalysis
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -113,6 +114,17 @@ type Trace struct {
 	Decisions []DecisionRec
 	// Skipped counts lines that were not valid JSON objects.
 	Skipped int
+	// TruncatedTail reports that the stream ended mid-line: the final
+	// line had no terminating newline and did not parse (a crashed or
+	// still-writing producer). The partial line is discarded, not
+	// counted in Skipped.
+	TruncatedTail bool
+}
+
+// Empty reports whether the stream contained no recognizable trace
+// records at all (distinct from a valid trace with zero spans).
+func (t *Trace) Empty() bool {
+	return len(t.Spans) == 0 && len(t.Events) == 0 && len(t.Decisions) == 0
 }
 
 // Load parses an NDJSON stream. Unknown-but-valid JSON lines are
@@ -120,56 +132,80 @@ type Trace struct {
 // partial writes and foreign lines.
 func Load(r io.Reader) (*Trace, error) {
 	t := &Trace{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	br := bufio.NewReaderSize(r, 1<<20)
 	ln := 0
-	for sc.Scan() {
-		ln++
-		raw := sc.Bytes()
+	for {
+		raw, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, fmt.Errorf("tanalysis: read line %d: %w", ln+1, rerr)
+		}
+		atEOF := rerr == io.EOF
+		terminated := len(raw) > 0 && raw[len(raw)-1] == '\n'
+		raw = bytes.TrimRight(raw, "\n")
 		if len(raw) == 0 {
+			if atEOF {
+				break
+			}
 			continue
 		}
+		ln++
 		var l line
 		if err := json.Unmarshal(raw, &l); err != nil {
-			t.Skipped++
+			if atEOF && !terminated {
+				// A partial trailing line: the producer was cut off (or is
+				// still writing). Flag it instead of miscounting it as a
+				// foreign line.
+				t.TruncatedTail = true
+			} else {
+				t.Skipped++
+			}
+			if atEOF {
+				break
+			}
 			continue
 		}
-		us := func(v int64) time.Duration { return time.Duration(v) * time.Microsecond }
-		switch {
-		case l.Span != nil && l.Name != "":
-			t.Spans = append(t.Spans, SpanRec{
-				ID: *l.Span, Parent: l.Parent, Name: l.Name,
-				Start: us(l.StartUS), End: us(l.EndUS), Tag: l.Tag,
-				Req:     opt(l.Req, -1),
-				Cluster: opt(l.Cluster, -1), Node: opt(l.Node, -1),
-				Service: opt(l.Service, -1), Class: l.Class,
-				Decision: opt(l.Decision, -1), Detail: l.Detail,
-			})
-		case l.Decision != nil && l.Algo != "":
-			t.Decisions = append(t.Decisions, DecisionRec{
-				ID: *l.Decision, At: us(l.AtUS), Tag: l.Tag,
-				Algo: l.Algo, Phase: l.Phase,
-				Cluster: opt(l.Cluster, -1), Service: opt(l.Service, -1),
-				Batch: l.Batch, Routed: l.Routed,
-				GraphNodes: l.GraphNodes, GraphEdges: l.GraphEdges,
-				Cands: l.Cands,
-			})
-		case l.Kind != "":
-			t.Events = append(t.Events, EventRec{
-				Kind: l.Kind, At: us(l.AtUS), Tag: l.Tag,
-				Req:     opt(l.Req, -1),
-				Cluster: opt(l.Cluster, -1), Node: opt(l.Node, -1),
-				Service: opt(l.Service, -1), Class: l.Class,
-				Value: l.Value, Aux: l.Aux, Detail: l.Detail,
-			})
-		default:
-			t.Skipped++
+		t.classify(l)
+		if atEOF {
+			break
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("tanalysis: scan line %d: %w", ln, err)
-	}
 	return t, nil
+}
+
+// classify appends one parsed union line to its record slice (or
+// counts it skipped when it matches no known shape).
+func (t *Trace) classify(l line) {
+	us := func(v int64) time.Duration { return time.Duration(v) * time.Microsecond }
+	switch {
+	case l.Span != nil && l.Name != "":
+		t.Spans = append(t.Spans, SpanRec{
+			ID: *l.Span, Parent: l.Parent, Name: l.Name,
+			Start: us(l.StartUS), End: us(l.EndUS), Tag: l.Tag,
+			Req:     opt(l.Req, -1),
+			Cluster: opt(l.Cluster, -1), Node: opt(l.Node, -1),
+			Service: opt(l.Service, -1), Class: l.Class,
+			Decision: opt(l.Decision, -1), Detail: l.Detail,
+		})
+	case l.Decision != nil && l.Algo != "":
+		t.Decisions = append(t.Decisions, DecisionRec{
+			ID: *l.Decision, At: us(l.AtUS), Tag: l.Tag,
+			Algo: l.Algo, Phase: l.Phase,
+			Cluster: opt(l.Cluster, -1), Service: opt(l.Service, -1),
+			Batch: l.Batch, Routed: l.Routed,
+			GraphNodes: l.GraphNodes, GraphEdges: l.GraphEdges,
+			Cands: l.Cands,
+		})
+	case l.Kind != "":
+		t.Events = append(t.Events, EventRec{
+			Kind: l.Kind, At: us(l.AtUS), Tag: l.Tag,
+			Req:     opt(l.Req, -1),
+			Cluster: opt(l.Cluster, -1), Node: opt(l.Node, -1),
+			Service: opt(l.Service, -1), Class: l.Class,
+			Value: l.Value, Aux: l.Aux, Detail: l.Detail,
+		})
+	default:
+		t.Skipped++
+	}
 }
 
 // RequestTrace is one request's span tree: the root "request" span and

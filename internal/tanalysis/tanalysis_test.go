@@ -196,3 +196,60 @@ not json at all
 		t.Fatalf("spans=%d skipped=%d", len(tr.Spans), tr.Skipped)
 	}
 }
+
+func TestLoadTruncatedTail(t *testing.T) {
+	// A valid line followed by a partial line with no trailing newline:
+	// the tail is discarded, flagged, and not counted in Skipped.
+	in := strings.NewReader(`{"span":1,"name":"request","start_us":0,"end_us":1000,"req":5,"class":"LC"}
+{"span":2,"name":"exec","sta`)
+	tr, err := Load(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.TruncatedTail {
+		t.Fatal("TruncatedTail not set for partial final line")
+	}
+	if len(tr.Spans) != 1 || tr.Skipped != 0 {
+		t.Fatalf("spans=%d skipped=%d, want 1/0", len(tr.Spans), tr.Skipped)
+	}
+}
+
+func TestLoadCompleteFinalLineWithoutNewline(t *testing.T) {
+	// A complete JSON line that merely lacks the trailing newline is a
+	// normal record, not a truncation.
+	in := strings.NewReader(`{"span":1,"name":"request","start_us":0,"end_us":1000,"req":5,"class":"LC"}`)
+	tr, err := Load(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TruncatedTail {
+		t.Fatal("TruncatedTail set for a parseable final line")
+	}
+	if len(tr.Spans) != 1 || tr.Skipped != 0 {
+		t.Fatalf("spans=%d skipped=%d, want 1/0", len(tr.Spans), tr.Skipped)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	tr, err := Load(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Empty() {
+		t.Fatal("empty stream should report Empty()")
+	}
+	tr, err = Load(strings.NewReader("{\"foo\":1}\nnot json\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Empty() || tr.Skipped != 2 {
+		t.Fatalf("foreign-only stream: empty=%v skipped=%d", tr.Empty(), tr.Skipped)
+	}
+	full, err := Load(buildTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Empty() {
+		t.Fatal("populated trace should not report Empty()")
+	}
+}

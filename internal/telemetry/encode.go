@@ -1,0 +1,124 @@
+// Package telemetry is the live observation plane: it exposes a running
+// simulation's obs.Registry in OpenMetrics text form over HTTP and
+// streams the NDJSON trace tail to subscribers, without perturbing the
+// deterministic replay contract (the server only ever reads snapshots;
+// its own counters are appended at exposition time and never enter the
+// simulation's registry, so replay digests are byte-identical with the
+// server on or off).
+package telemetry
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// WriteOpenMetrics renders family snapshots in OpenMetrics text format
+// (one # TYPE line per family, histogram expansion into cumulative
+// _bucket/_sum/_count, terminated by # EOF).
+func WriteOpenMetrics(w io.Writer, fams []obs.FamilySnapshot) error {
+	var b strings.Builder
+	for _, f := range fams {
+		appendFamily(&b, f)
+		if b.Len() > 32<<10 { // bounded buffering for large registries
+			if _, err := io.WriteString(w, b.String()); err != nil {
+				return err
+			}
+			b.Reset()
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func appendFamily(b *strings.Builder, f obs.FamilySnapshot) {
+	// OpenMetrics names the counter family without the _total suffix;
+	// the sample line keeps it.
+	famName := f.Name
+	if f.Kind == "counter" {
+		famName = strings.TrimSuffix(famName, "_total")
+	}
+	b.WriteString("# TYPE ")
+	b.WriteString(famName)
+	b.WriteByte(' ')
+	b.WriteString(f.Kind)
+	b.WriteByte('\n')
+	for _, m := range f.Members {
+		if f.Kind == "histogram" && m.Hist != nil {
+			appendHistogram(b, f.Name, m)
+			continue
+		}
+		b.WriteString(f.Name)
+		b.WriteString(m.LabelStr)
+		b.WriteByte(' ')
+		appendValue(b, m.Value)
+		b.WriteByte('\n')
+	}
+}
+
+func appendHistogram(b *strings.Builder, name string, m obs.MemberSnapshot) {
+	h := m.Hist
+	var cum uint64
+	for i := range h.Counts {
+		cum += h.Counts[i]
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = strconv.FormatFloat(h.Bounds[i], 'g', -1, 64)
+		}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		b.WriteString(withLabel(m.LabelStr, "le", le))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(cum, 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString("_sum")
+	b.WriteString(m.LabelStr)
+	b.WriteByte(' ')
+	appendValue(b, h.Sum)
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	b.WriteString(m.LabelStr)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(h.Count, 10))
+	b.WriteByte('\n')
+}
+
+// withLabel merges one extra label into an already-rendered label
+// string ("" or "{k=\"v\",...}").
+func withLabel(labelStr, k, v string) string {
+	var b strings.Builder
+	b.Grow(len(labelStr) + len(k) + len(v) + 6)
+	if labelStr == "" {
+		b.WriteByte('{')
+	} else {
+		b.WriteString(labelStr[:len(labelStr)-1])
+		b.WriteByte(',')
+	}
+	b.WriteString(k)
+	b.WriteString(`="`)
+	b.WriteString(v)
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+// appendValue renders a float64 the OpenMetrics way: shortest
+// round-trippable decimal, NaN/Inf spelled out.
+func appendValue(b *strings.Builder, v float64) {
+	switch {
+	case math.IsNaN(v):
+		b.WriteString("NaN")
+	case math.IsInf(v, 1):
+		b.WriteString("+Inf")
+	case math.IsInf(v, -1):
+		b.WriteString("-Inf")
+	default:
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+}

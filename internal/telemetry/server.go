@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RunInfo describes the run a scrape is observing (served at /runinfo).
+type RunInfo struct {
+	System     string  `json:"system"`
+	Scenario   string  `json:"scenario,omitempty"`
+	Seed       int64   `json:"seed"`
+	PeriodMs   float64 `json:"period_ms,omitempty"`
+	DurationMs float64 `json:"duration_ms,omitempty"`
+	SampleRate float64 `json:"span_sample_rate"`
+}
+
+// Server exposes a running simulation over HTTP:
+//
+//	/metrics     OpenMetrics text exposition of the obs.Registry
+//	/healthz     liveness probe
+//	/runinfo     JSON RunInfo (scenario / seed / period)
+//	/trace/tail  bounded live NDJSON stream from the TeeSink
+//
+// The source (registry + tee + run info) is swappable with SetSource so
+// one server can outlive successive runs (tango-bench). The server
+// never writes into the simulation's registry — its own counters are
+// appended to the exposition on the fly — so attaching it cannot
+// perturb replay digests.
+type Server struct {
+	mu   sync.Mutex
+	reg  *obs.Registry
+	tee  *obs.TeeSink
+	info RunInfo
+
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+
+	scrapes atomic.Uint64
+	tails   atomic.Uint64
+}
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves
+// in the background. Wire a source with SetSource.
+func Start(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/runinfo", s.handleRunInfo)
+	mux.HandleFunc("/trace/tail", s.handleTail)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // returns on Close
+	}()
+	return s, nil
+}
+
+// SetSource points the server at a run's registry, trace tee (either
+// may be nil) and run info.
+func (s *Server) SetSource(reg *obs.Registry, tee *obs.TeeSink, info RunInfo) {
+	s.mu.Lock()
+	s.reg, s.tee, s.info = reg, tee, info
+	s.mu.Unlock()
+}
+
+func (s *Server) source() (*obs.Registry, *obs.TeeSink, RunInfo) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg, s.tee, s.info
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down, severing live tails.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		err = s.srv.Close()
+	}
+	select {
+	case <-s.done:
+	case <-time.After(2 * time.Second):
+	}
+	return err
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleRunInfo(w http.ResponseWriter, _ *http.Request) {
+	_, _, info := s.source()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(info)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.scrapes.Add(1)
+	reg, tee, _ := s.source()
+	var fams []obs.FamilySnapshot
+	if reg != nil {
+		fams = reg.Snapshot()
+	}
+	fams = append(fams, s.selfMetrics(tee)...)
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	_ = WriteOpenMetrics(w, fams)
+}
+
+// selfMetrics are the server's own counters, materialised per scrape so
+// they never enter the simulation registry (digest safety).
+func (s *Server) selfMetrics(tee *obs.TeeSink) []obs.FamilySnapshot {
+	one := func(name, kind string, v float64) obs.FamilySnapshot {
+		return obs.FamilySnapshot{Name: name, Kind: kind,
+			Members: []obs.MemberSnapshot{{Value: v}}}
+	}
+	out := []obs.FamilySnapshot{
+		one("telemetry_scrapes_total", "counter", float64(s.scrapes.Load())),
+		one("telemetry_tails_total", "counter", float64(s.tails.Load())),
+	}
+	if tee != nil {
+		out = append(out,
+			one("telemetry_tail_lines_total", "counter", float64(tee.Lines())),
+			one("telemetry_tail_dropped_total", "counter", float64(tee.Dropped())),
+			one("telemetry_tail_subscribers", "gauge", float64(tee.Subscribers())),
+		)
+	}
+	return out
+}
+
+// handleTail streams NDJSON trace lines. Query parameters:
+//
+//	limit=N     stop after N lines (default 1000, 0 = unbounded)
+//	backlog=0   skip the retained recent lines (default: replay them)
+//
+// The stream ends with one trailer object {"tail":{...}} reporting
+// delivered and dropped counts, so a consumer can tell whether it kept
+// up. A slow consumer never stalls the simulation: the tee drops for
+// this subscriber and the drop is visible in the trailer and in
+// telemetry_tail_dropped_total.
+func (s *Server) handleTail(w http.ResponseWriter, r *http.Request) {
+	s.tails.Add(1)
+	_, tee, _ := s.source()
+	if tee == nil {
+		http.Error(w, "no trace stream attached", http.StatusServiceUnavailable)
+		return
+	}
+	limit := 1000
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			limit = n
+		}
+	}
+	backlog := r.URL.Query().Get("backlog") != "0"
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	sub := tee.Subscribe(4096, backlog)
+	defer sub.Close()
+
+	sent := 0
+	flushEvery := 64
+	for limit == 0 || sent < limit {
+		select {
+		case line, ok := <-sub.Lines():
+			if !ok {
+				goto done
+			}
+			if _, err := w.Write(line); err != nil {
+				goto done
+			}
+			sent++
+			if sent%flushEvery == 0 && flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			goto done
+		case <-time.After(250 * time.Millisecond):
+			// Idle stream: flush what we have so a live reader sees
+			// progress even below the flush batch size.
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+done:
+	trailer, _ := json.Marshal(map[string]any{"tail": map[string]any{
+		"sent":    sent,
+		"dropped": sub.Dropped(),
+	}})
+	w.Write(append(trailer, '\n'))
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

@@ -1,0 +1,335 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func testRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("tango_requests_arrived_total", obs.Labels{Cluster: "c0"}).Add(42)
+	r.Counter("tango_requests_arrived_total", obs.Labels{Cluster: "c1"}).Add(7)
+	r.Gauge("tango_node_utilization", obs.Labels{Cluster: "c0", Node: "0"}).Set(0.625)
+	h := r.Histogram("tango_lc_latency_ms", obs.Labels{Service: "lc-video"}, []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	return r
+}
+
+func TestOpenMetricsEncodeParseRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, testRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatalf("missing # EOF terminator:\n%s", text)
+	}
+	// Counter family name drops _total in the TYPE line, samples keep it.
+	if !strings.Contains(text, "# TYPE tango_requests_arrived counter") {
+		t.Fatalf("counter TYPE line wrong:\n%s", text)
+	}
+	if !strings.Contains(text, `tango_requests_arrived_total{cluster="c0"} 42`) {
+		t.Fatalf("counter sample wrong:\n%s", text)
+	}
+
+	sc, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.SawEOF {
+		t.Fatal("parser missed # EOF")
+	}
+	if sc.Types["tango_lc_latency_ms"] != "histogram" {
+		t.Fatalf("types = %v", sc.Types)
+	}
+	if v, ok := sc.Value("tango_requests_arrived_total", map[string]string{"cluster": "c1"}); !ok || v != 7 {
+		t.Fatalf("counter c1 = %v/%v", v, ok)
+	}
+	if v, ok := sc.Value("tango_node_utilization", map[string]string{"node": "0"}); !ok || v != 0.625 {
+		t.Fatalf("gauge = %v/%v", v, ok)
+	}
+	// Histogram: cumulative buckets, +Inf equals _count.
+	if v, ok := sc.Value("tango_lc_latency_ms_bucket", map[string]string{"le": "10", "service": "lc-video"}); !ok || v != 1 {
+		t.Fatalf("bucket le=10 = %v/%v", v, ok)
+	}
+	if v, ok := sc.Value("tango_lc_latency_ms_bucket", map[string]string{"le": "100"}); !ok || v != 2 {
+		t.Fatalf("bucket le=100 = %v/%v", v, ok)
+	}
+	inf, ok := sc.Value("tango_lc_latency_ms_bucket", map[string]string{"le": "+Inf"})
+	cnt, ok2 := sc.Value("tango_lc_latency_ms_count", nil)
+	if !ok || !ok2 || inf != cnt || cnt != 3 {
+		t.Fatalf("+Inf bucket %v vs count %v", inf, cnt)
+	}
+	if v, ok := sc.Value("tango_lc_latency_ms_sum", nil); !ok || v != 555 {
+		t.Fatalf("sum = %v/%v", v, ok)
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"metric_no_value\n",
+		"m{unterminated 1\n",
+		"m{l=unquoted} 1\n",
+		"m notafloat\n",
+		"# EOF\nmetric_after_eof 1\n",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Fatalf("parser accepted %q", bad)
+		}
+	}
+	// Truncation (no # EOF) parses but is flagged.
+	sc, err := ParseText(strings.NewReader("m 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.SawEOF {
+		t.Fatal("SawEOF on truncated document")
+	}
+}
+
+func startTestServer(t *testing.T, reg *obs.Registry, tee *obs.TeeSink) *Server {
+	t.Helper()
+	srv, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	srv.SetSource(reg, tee, RunInfo{System: "tango", Scenario: "test", Seed: 42, SampleRate: 1})
+	return srv
+}
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	tee := obs.NewTeeSink(nil, 64)
+	srv := startTestServer(t, testRegistry(), tee)
+	base := "http://" + srv.Addr()
+
+	if body, _ := get(t, base+"/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz = %q", body)
+	}
+
+	body, ct := get(t, base+"/runinfo")
+	if !strings.Contains(ct, "application/json") {
+		t.Fatalf("runinfo content-type = %q", ct)
+	}
+	var info RunInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.System != "tango" || info.Seed != 42 {
+		t.Fatalf("runinfo = %+v", info)
+	}
+
+	body, ct = get(t, base+"/metrics")
+	if !strings.Contains(ct, "openmetrics-text") {
+		t.Fatalf("metrics content-type = %q", ct)
+	}
+	sc, err := ParseText(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("metrics do not parse: %v\n%s", err, body)
+	}
+	if !sc.SawEOF {
+		t.Fatal("metrics missing # EOF")
+	}
+	if v, ok := sc.Value("tango_requests_arrived_total", map[string]string{"cluster": "c0"}); !ok || v != 42 {
+		t.Fatalf("registry counter not exposed: %v/%v", v, ok)
+	}
+	// Server-local counters are exposed but never entered the registry.
+	if v, ok := sc.Value("telemetry_scrapes_total", nil); !ok || v < 1 {
+		t.Fatalf("telemetry_scrapes_total = %v/%v", v, ok)
+	}
+	if _, ok := sc.Value("telemetry_tail_subscribers", nil); !ok {
+		t.Fatal("tee gauges missing")
+	}
+	for _, s := range testRegistry().Gather() {
+		if strings.HasPrefix(s.Name, "telemetry_") {
+			t.Fatal("server metrics leaked into the simulation registry")
+		}
+	}
+}
+
+func TestServerTailStreams(t *testing.T) {
+	tee := obs.NewTeeSink(nil, 64)
+	srv := startTestServer(t, nil, tee)
+
+	// Emit a few lines before connecting: backlog replay must cover them.
+	emit := func(seq uint64) {
+		ev := *obs.Ev(obs.EvArrival).Req(int64(seq))
+		ev.Seq = seq
+		tee.Record(ev)
+	}
+	for i := uint64(0); i < 5; i++ {
+		emit(i)
+	}
+
+	resp, err := http.Get("http://" + srv.Addr() + "/trace/tail?limit=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Keep emitting while the tail is attached.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(5); i < 20; i++ {
+			emit(i)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	r := bufio.NewReader(resp.Body)
+	var lines []string
+	for {
+		line, err := r.ReadString('\n')
+		if line != "" {
+			lines = append(lines, strings.TrimSpace(line))
+		}
+		if err != nil {
+			break
+		}
+	}
+	<-done
+	if len(lines) != 9 { // 8 samples + trailer
+		t.Fatalf("tail lines = %d, want 9:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	for i, line := range lines[:8] {
+		var m struct {
+			Seq  *uint64 `json:"seq"`
+			Kind string  `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d invalid: %v (%q)", i, err, line)
+		}
+		if m.Seq == nil || *m.Seq != uint64(i) {
+			t.Fatalf("line %d out of order: %q", i, line)
+		}
+	}
+	var trailer struct {
+		Tail *struct {
+			Sent    int    `json:"sent"`
+			Dropped uint64 `json:"dropped"`
+		} `json:"tail"`
+	}
+	if err := json.Unmarshal([]byte(lines[8]), &trailer); err != nil || trailer.Tail == nil {
+		t.Fatalf("bad trailer %q: %v", lines[8], err)
+	}
+	if trailer.Tail.Sent != 8 {
+		t.Fatalf("trailer sent = %d, want 8", trailer.Tail.Sent)
+	}
+	if tee.Subscribers() != 0 {
+		t.Fatalf("tail left %d subscribers attached", tee.Subscribers())
+	}
+}
+
+func TestServerTailWithoutTee(t *testing.T) {
+	srv := startTestServer(t, testRegistry(), nil)
+	resp, err := http.Get("http://" + srv.Addr() + "/trace/tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestConcurrentScrapeVsEmit races live scrapes and a trace tail
+// against a writer hammering the registry and the tee — the contract
+// the whole plane exists for. Run under -race.
+func TestConcurrentScrapeVsEmit(t *testing.T) {
+	reg := obs.NewRegistry()
+	tee := obs.NewTeeSink(nil, 32)
+	srv := startTestServer(t, reg, tee)
+	base := "http://" + srv.Addr()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the "engine"
+		defer wg.Done()
+		c := reg.Counter("tango_requests_arrived_total", obs.Labels{Cluster: "c0"})
+		h := reg.Histogram("tango_lc_latency_ms", obs.Labels{Service: "lc"}, nil)
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Inc()
+			h.Observe(float64(i % 300))
+			ev := *obs.Ev(obs.EvArrival).Req(int64(i))
+			ev.Seq = i
+			tee.Record(ev)
+			if i%100 == 0 { // structural churn mid-scrape
+				reg.Gauge("tango_node_utilization", obs.Labels{Node: fmt.Sprint(i / 100)}).Set(0.5)
+			}
+		}
+	}()
+
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() { // scrapers
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, err := http.Get(base + "/metrics")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ParseText(strings.NewReader(string(body))); err != nil {
+					t.Errorf("scrape %d unparseable: %v", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // one live tail
+		defer wg.Done()
+		resp, err := http.Get(base + "/trace/tail?limit=200")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -28,4 +28,7 @@ sh scripts/replay_smoke.sh
 echo "== bench smoke =="
 sh scripts/bench_smoke.sh
 
+echo "== telemetry smoke =="
+sh scripts/telemetry_smoke.sh
+
 echo "OK"

@@ -1,0 +1,39 @@
+// httpget fetches a URL and writes the response body to stdout, exiting
+// non-zero on connection errors or non-2xx statuses. It keeps the
+// repo's smoke scripts free of a curl/wget dependency.
+//
+// Usage: httpget [-timeout 5s] <url>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	timeout := flag.Duration("timeout", 5*time.Second, "whole-request timeout")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: httpget [-timeout 5s] <url>")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		fmt.Fprintf(os.Stderr, "GET %s: %s\n", flag.Arg(0), resp.Status)
+		os.Exit(1)
+	}
+}

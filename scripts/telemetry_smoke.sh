@@ -1,0 +1,76 @@
+#!/bin/sh
+# Live-telemetry smoke test: run a short simulation with -listen, scrape
+# every endpoint while the server lingers, validate the OpenMetrics
+# exposition through tango-top's strict parser, stream /trace/tail, and
+# prove the replay digests are byte-identical with the server on vs off.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+trap 'rm -rf "$tmp"; [ -n "$pid" ] && kill "$pid" 2>/dev/null || true' EXIT
+
+echo "== build =="
+go build -o "$tmp/tango-sim" ./cmd/tango-sim
+go build -o "$tmp/tango-top" ./cmd/tango-top
+go build -o "$tmp/httpget" ./scripts/httpget
+
+echo "== baseline run (server off) =="
+"$tmp/tango-sim" -pattern P3 -duration 6s -drain 4s -seed 7 -digest \
+    > "$tmp/off.log"
+grep "^digest:" "$tmp/off.log"
+
+echo "== live run (server on) =="
+"$tmp/tango-sim" -pattern P3 -duration 6s -drain 4s -seed 7 -digest \
+    -listen 127.0.0.1:0 -linger 60s > "$tmp/on.log" 2>&1 &
+pid=$!
+
+# Wait for the run to finish (the digest line prints before the linger
+# window) so scrapes see the complete run and the server is still up.
+i=0
+until grep -q "^digest:" "$tmp/on.log" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -le 120 ] || { echo "live run never printed a digest"; cat "$tmp/on.log"; exit 1; }
+    kill -0 "$pid" 2>/dev/null || { echo "live run died"; cat "$tmp/on.log"; exit 1; }
+    sleep 0.5
+done
+addr=$(sed -n 's|^telemetry: listening on ||p' "$tmp/on.log")
+[ -n "$addr" ] || { echo "no listen banner"; cat "$tmp/on.log"; exit 1; }
+echo "server at $addr"
+
+echo "== /healthz =="
+[ "$("$tmp/httpget" "$addr/healthz")" = "ok" ] || { echo "healthz not ok"; exit 1; }
+
+echo "== /runinfo =="
+"$tmp/httpget" "$addr/runinfo" > "$tmp/runinfo.json"
+go run ./scripts/jsoncheck "$tmp/runinfo.json"
+grep -q '"system": "tango"' "$tmp/runinfo.json" || { echo "runinfo missing system"; exit 1; }
+
+echo "== /metrics =="
+"$tmp/httpget" "$addr/metrics" > "$tmp/metrics.txt"
+for fam in tango_slo_phi tango_solver_solves_total tango_node_queue_len \
+    tango_lc_latency_ms_bucket; do
+    grep -q "^$fam" "$tmp/metrics.txt" || { echo "exposition missing $fam"; exit 1; }
+done
+tail -1 "$tmp/metrics.txt" | grep -q "^# EOF" || { echo "no # EOF terminator"; exit 1; }
+# tango-top -n 1 re-parses the exposition strictly and renders one frame.
+"$tmp/tango-top" -url "$addr" -n 1 > "$tmp/top.txt"
+grep -q "SLO satisfaction" "$tmp/top.txt" || { echo "tango-top frame missing phi table"; exit 1; }
+
+echo "== /trace/tail =="
+"$tmp/httpget" "$addr/trace/tail?limit=5" > "$tmp/tail.ndjson"
+lines=$(wc -l < "$tmp/tail.ndjson")
+[ "$lines" -ge 1 ] || { echo "tail streamed nothing"; exit 1; }
+tail -1 "$tmp/tail.ndjson" | grep -q '"tail"' || { echo "tail missing trailer"; exit 1; }
+
+kill "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+pid=""
+
+echo "== digest invariance (server on == server off) =="
+off=$(grep "^digest:" "$tmp/off.log")
+on=$(grep "^digest:" "$tmp/on.log")
+[ "$off" = "$on" ] || { echo "digests differ:"; echo "off: $off"; echo "on:  $on"; exit 1; }
+
+echo "telemetry smoke OK"
