@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench check fmt vet clean trace-smoke verify replay-smoke fuzz-smoke perf bench-smoke telemetry-smoke race-telemetry
+.PHONY: all build test race bench check fmt vet clean trace-smoke verify replay-smoke fuzz-smoke perf bench-smoke telemetry-smoke race-telemetry race-shard
 
 all: check
 
@@ -73,6 +73,12 @@ telemetry-smoke:
 # tail-vs-hot-path); `make race` covers everything but takes far longer.
 race-telemetry:
 	$(GO) test -race ./internal/obs ./internal/telemetry
+
+# Fast race pass over the sharded scheduling layer and the packages its
+# concurrent solves lean on (pooled workspaces, keyed warm-start memos,
+# the partitioner). `make race` covers everything but takes far longer.
+race-shard:
+	$(GO) test -race ./internal/shard ./internal/dsslc ./internal/flow ./internal/topo
 
 clean:
 	$(GO) clean ./...

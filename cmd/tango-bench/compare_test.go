@@ -11,7 +11,7 @@ func baseSnap() *perfSnapshot {
 			{Phase: "solve/mcnf", Calls: 10, NsOp: 900, BytesOp: 4096, AllocsOp: 8},
 		},
 		EnginePhases: []phaseRow{
-			{Phase: "engine/dispatch", Calls: 20, NsOp: 1500, BytesOp: 1024, AllocsOp: 4},
+			{Phase: "engine/dispatch", Calls: 2000, NsOp: 1500, BytesOp: 1024, AllocsOp: 4},
 		},
 	}
 }
@@ -86,6 +86,56 @@ func TestComparePhaseAllocRegression(t *testing.T) {
 	n, names := countRegressions(rows)
 	if n != 1 || names[0] != "engine:engine/dispatch bytes_op" {
 		t.Fatalf("regressions = %v, want the dispatch bytes_op row", names)
+	}
+}
+
+// Per-phase allocation deltas are read from runtime/metrics counters
+// that flush one mcache span at a time, so a low-call-count phase can
+// absorb a span's worth of someone else's allocations. Growth that
+// stays under the run-total floors is attribution noise, not a leak.
+func TestCompareAllocRunTotalFloor(t *testing.T) {
+	old := baseSnap()
+	old.EnginePhases = append(old.EnginePhases, phaseRow{Phase: "engine/collect", Calls: 12, BytesOp: 5400, AllocsOp: 50})
+	ns := baseSnap()
+	ns.EnginePhases = append(ns.EnginePhases, phaseRow{Phase: "engine/collect", Calls: 12, BytesOp: 13500, AllocsOp: 138})
+	// +176% allocs but only ~1k objects / ~97KB across 12 calls: under
+	// the counter granularity, so quiet.
+	if n, names := countRegressions(compareSnapshots(old, ns, 25, 10)); n != 0 {
+		t.Fatalf("sub-granularity alloc growth regressed: %v", names)
+	}
+	// The same per-op growth over enough calls is a real leak.
+	ns.EnginePhases[1].Calls = 1200
+	old.EnginePhases[1].Calls = 1200
+	n, names := countRegressions(compareSnapshots(old, ns, 25, 10))
+	if n != 2 {
+		t.Fatalf("regressions = %v, want the collect bytes_op and allocs_op rows", names)
+	}
+}
+
+func TestCompareShardRows(t *testing.T) {
+	old := baseSnap()
+	old.ShardNodes = 10000
+	old.ShardRows = []shardRow{{Shards: 1, WallMs: 40000}, {Shards: 4, WallMs: 3000}}
+	ns := baseSnap()
+	ns.ShardNodes = 10000
+	ns.ShardRows = []shardRow{{Shards: 1, WallMs: 41000}, {Shards: 4, WallMs: 3100}}
+	if n, names := countRegressions(compareSnapshots(old, ns, 25, 10)); n != 0 {
+		t.Fatalf("within-limit shard rows regressed: %v", names)
+	}
+	ns.ShardRows[1].WallMs = 4500 // +50% > 25% limit
+	n, names := countRegressions(compareSnapshots(old, ns, 25, 10))
+	if n != 1 || names[0] != "shard:k=4 wall_ms" {
+		t.Fatalf("regressions = %v, want [shard:k=4 wall_ms]", names)
+	}
+	// Different fleet sizes are not comparable: rows are skipped.
+	ns.ShardNodes = 2000
+	if n, names := countRegressions(compareSnapshots(old, ns, 25, 10)); n != 0 {
+		t.Fatalf("mismatched shard_nodes still compared: %v", names)
+	}
+	// A baseline predating the shard section never trips the gate.
+	ns.ShardNodes = 10000
+	if n, names := countRegressions(compareSnapshots(baseSnap(), ns, 25, 10)); n != 0 {
+		t.Fatalf("shard rows vs pre-shard baseline regressed: %v", names)
 	}
 }
 

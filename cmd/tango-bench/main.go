@@ -31,6 +31,7 @@ func main() {
 		full     = flag.Bool("full", false, "paper-scale configuration (much slower)")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		seed     = flag.Int64("seed", 1, "random seed")
+		shards   = flag.Int("shards", 0, "partition LC scheduling into this many region shards (>1 enables the sharded scheduler for every Tango run)")
 		traceOut = flag.String("trace", "", "write lifecycle events of every run as NDJSON to this file")
 		report   = flag.String("report", "", "write a suite report (JSON) to this file")
 		perfDir  = flag.String("perf", "", "write a BENCH_<date>.json perf snapshot into this directory and exit (combine with -exp to also run experiments)")
@@ -92,6 +93,9 @@ func main() {
 		{"scalability", func(c experiments.Config) *experiments.Result {
 			return experiments.Scalability(c, wall)
 		}, "extension: decision-time scaling sweep"},
+		{"shard-scale", func(c experiments.Config) *experiments.Result {
+			return experiments.ShardScale(c, wall)
+		}, "extension: sharded scheduler throughput at 10k+ nodes"},
 		{"ablation-masking", experiments.AblationMasking, "policy context filtering ablation"},
 		{"ablation-reward", experiments.AblationReward, "reward split ablation"},
 		{"ablation-preemption", experiments.AblationPreemption, "BE preemption ablation"},
@@ -109,6 +113,7 @@ func main() {
 		cfg = experiments.Full()
 	}
 	cfg.Seed = *seed
+	cfg.Shards = *shards
 
 	var wsink *obs.WriterSink
 	if *traceOut != "" {
@@ -184,6 +189,7 @@ func main() {
 			"lc_rate":  fmt.Sprintf("%g", cfg.LCRate),
 			"be_rate":  fmt.Sprintf("%g", cfg.BERate),
 			"virtual":  fmt.Sprintf("%d", cfg.VirtualClusters),
+			"shards":   fmt.Sprintf("%d", cfg.Shards),
 			"full":     fmt.Sprintf("%t", *full),
 		},
 	}

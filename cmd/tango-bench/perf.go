@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cgroup"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/perf"
 	"repro/internal/res"
@@ -56,12 +57,28 @@ type perfSnapshot struct {
 	// writes) alternating between two limit pairs.
 	CgroupResizeNsOp float64 `json:"cgroup_resize_ns_op"`
 
+	// Shard: one cold sharded ScheduleRound per shard count over the
+	// standard scale-suite fleet (experiments.ShardRound: shard_nodes/20
+	// clusters x 20 workers, 8 LC requests per cluster, unrestricted geo
+	// radius). Quick snapshots shrink the fleet; -compare only diffs rows
+	// whose shard_nodes match.
+	ShardNodes int        `json:"shard_nodes,omitempty"`
+	ShardRows  []shardRow `json:"shard_rows,omitempty"`
+
 	// Per-phase breakdowns from a profiled pass of each section (ns, bytes
 	// and objects per Enter/Exit pair). The profiled pass is separate from
 	// the ns/op timing loops above, so those stay profiler-overhead-free.
 	SolverPhases []phaseRow `json:"solver_phases,omitempty"`
 	EnginePhases []phaseRow `json:"engine_phases,omitempty"`
 	CgroupPhases []phaseRow `json:"cgroup_phases,omitempty"`
+}
+
+// shardRow is one shard-count point of the scale-suite round.
+type shardRow struct {
+	Shards     int     `json:"shards"`
+	WallMs     float64 `json:"wall_ms"`
+	ReqsPerSec float64 `json:"reqs_per_sec"`
+	Overflow   int64   `json:"overflow"`
 }
 
 // phaseRow is one phase of a profiled section, normalized per call.
@@ -233,6 +250,28 @@ func writePerfSnapshot(dir string, seed int64, quick bool) (string, error) {
 	}
 	snap.EnginePhases = phaseRows(ep)
 
+	// Sharded scheduler sweep: each point schedules the identical cold
+	// round once (a single wall-clock measurement, not a timeOp loop — a
+	// second pass would ride the warm-start memo and stop being the cold
+	// round the trajectory tracks).
+	snap.ShardNodes = 10_000
+	if quick {
+		snap.ShardNodes = 2_000
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		el, reqs, overflow := experiments.ShardRound(seed, snap.ShardNodes, k, func(fn func()) time.Duration {
+			start := time.Now()
+			fn()
+			return time.Since(start)
+		})
+		snap.ShardRows = append(snap.ShardRows, shardRow{
+			Shards:     k,
+			WallMs:     float64(el) / float64(time.Millisecond),
+			ReqsPerSec: float64(reqs) / el.Seconds(),
+			Overflow:   overflow,
+		})
+	}
+
 	// Cgroup D-VPA resize micro.
 	resize, _, err := cgroupMicro()
 	if err != nil {
@@ -267,5 +306,10 @@ func writePerfSnapshot(dir string, seed int64, quick bool) (string, error) {
 	fmt.Printf("perf: solver %.0f ns/op (warm %.0f, %d/%d warm hits), dinic %.0f ns/op, engine %.0f ns/event (%d events), cgroup resize %.0f ns/op\n",
 		snap.SolverNsOp, snap.SolverWarmNsOp, snap.SolverWarmHits, snap.SolverSolves,
 		snap.DinicNsOp, snap.EngineEventNs, snap.EngineEvents, snap.CgroupResizeNsOp)
+	fmt.Printf("perf: shard round (%d nodes):", snap.ShardNodes)
+	for _, r := range snap.ShardRows {
+		fmt.Printf(" k=%d %.0fms (%.0f req/s)", r.Shards, r.WallMs, r.ReqsPerSec)
+	}
+	fmt.Println()
 	return path, nil
 }

@@ -38,6 +38,7 @@ func main() {
 		lcRate   = flag.Float64("lc-rate", 60, "LC requests per second (system-wide)")
 		beRate   = flag.Float64("be-rate", 25, "BE requests per second (system-wide)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		shards   = flag.Int("shards", 0, "partition LC scheduling into this many region shards (>1, tango only)")
 		series   = flag.Bool("series", false, "print per-period series")
 		traceOut = flag.String("trace", "", "write lifecycle events as NDJSON to this file")
 		report   = flag.String("report", "", "write the run report (JSON) to this file")
@@ -142,6 +143,11 @@ func main() {
 	}
 	opts.TraceTag = *system
 	opts.SpanSampleRate = *spanRate
+	if *shards > 0 {
+		// Only systems on the default DSS-LC react; baselines install
+		// their own LC scheduler and ignore the knob.
+		opts.LCShards = *shards
+	}
 	opts.Verify = *verify
 	var prof *perf.Profiler
 	if *perfOn {

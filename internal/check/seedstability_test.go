@@ -15,17 +15,22 @@ import "testing"
 // that justifies the change.
 // Report goldens recaptured when the live-telemetry plane added the
 // deterministic tango_slo_phi / tango_slo_rolling_phi / tango_solver_*
-// gauges to the collector scrape (new registry series enter the report;
-// the trace stream is untouched, so the stream goldens predate that
-// change and still hold).
+// gauges to the collector scrape, and again when the sharded scheduling
+// layer landed: the warm-start memo became a per-(cluster,type,phase)
+// table (multi-commodity batches now warm-hit every commodity instead
+// of only the last one solved, moving tango_solver_warm_hits_total /
+// warm_hit_rate) and the run config gained the lc_shards key. The trace
+// stream is untouched by all of it — keyed memo replays are
+// bit-identical to cold solves — so the stream goldens predate these
+// changes and still hold.
 var seedGoldens = map[int64]struct{ stream, report string }{
 	42: {
 		stream: "7ac3ae96964454da0b52a10b2f9d1e267877e1200c1d3285324fa59e55b22ad3",
-		report: "a99b199ef6197fb2b9260e69d4806b5c5939fd1dff7d5a3e9ee63efe13f81b5a",
+		report: "f0d08fb105a73b822b02dc1e22fea3899d1a4579e8ddefab24b1aea181e270aa",
 	},
 	7: {
 		stream: "cd4820b5572b8075354dcaf1f66a93f2400ccb63c7a4cfabffafe08c941c4496",
-		report: "601074b2412d2fdb0edfe3f8d6ce9de910149c9af157bcc073a14fc67eec6b06",
+		report: "06bbf3524ae5547517421dd42264b699e9242075e82bd1b8a69a4659bed7ad90",
 	},
 }
 

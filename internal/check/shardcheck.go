@@ -1,0 +1,146 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/dsslc"
+	"repro/internal/engine"
+	"repro/internal/res"
+	"repro/internal/shard"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Sharded-vs-global differential: the sharded scheduling layer
+// (internal/shard) restricts each DSS-LC solve to its shard's region
+// and re-routes overflow across shards, so its placements may diverge
+// from the single global solve — but only within a bounded quality
+// loss, and not at all in single-shard mode. ShardDiff builds one
+// seeded instance (random topology, random per-cluster LC batches),
+// schedules it both ways on twin engines, and compares: every request
+// must be placed by both, the sharded dispatch cost (Σ per-request
+// master→worker RTT, the Eq. 3 objective DSS-LC minimizes) must stay
+// within `bound`× the global cost, and with k=1 every per-request
+// placement must be exactly the global one. The seeded-instance sweep
+// in shardcheck_test.go runs this over 256+ seeds.
+
+// ShardDiffResult summarizes one differential instance.
+type ShardDiffResult struct {
+	Clusters      int
+	Requests      int
+	GlobalCostUS  int64
+	ShardedCostUS int64
+	Overflow      int64 // requests routed by the cross-shard pass
+}
+
+// shardDiffInstance builds the instance's shared request descriptors.
+func shardDiffInstance(rng *rand.Rand, tp *topo.Topology) []trace.Request {
+	var reqs []trace.Request
+	id := int64(0)
+	for _, c := range tp.Clusters {
+		n := 10 + rng.Intn(80)
+		for i := 0; i < n; i++ {
+			reqs = append(reqs, trace.Request{
+				ID: id, Type: trace.TypeID(rng.Intn(5)), Class: trace.LC, Cluster: c.ID,
+			})
+			id++
+		}
+	}
+	return reqs
+}
+
+func shardDiffCost(tp *topo.Topology, reqs []trace.Request, a dsslc.Assignment) (int64, error) {
+	var cost int64
+	for _, r := range reqs {
+		nid, ok := a[r.ID]
+		if !ok {
+			return 0, fmt.Errorf("request %d (cluster %d) unassigned", r.ID, r.Cluster)
+		}
+		cost += int64(tp.RTT(tp.Cluster(r.Cluster).Master, nid) / time.Microsecond)
+	}
+	return cost, nil
+}
+
+// ShardDiff runs one seeded sharded-vs-global differential instance
+// with k shards and the given quality bound (sharded cost must not
+// exceed bound × global cost). bound is ignored for k=1, where the
+// check is exact placement equality.
+func ShardDiff(seed int64, k int, bound float64) (ShardDiffResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := topo.DefaultGenConfig(8 + rng.Intn(9))
+	// Small workers and heavy batches (below) push a good fraction of
+	// instances into Algorithm 2's case 2, so the sweep exercises the
+	// cross-shard overflow pass, not just shard-local routing.
+	cfg.MinWorkers, cfg.MaxWorkers = 3, 8
+	cfg.WorkerCapMin = res.V(1000, 2048, 100)
+	cfg.WorkerCapMax = res.V(4000, 8192, 300)
+	tp := topo.Generate(cfg, rng)
+	reqs := shardDiffInstance(rng, tp)
+
+	newEngine := func() *engine.Engine {
+		return engine.New(engine.Config{
+			Sim: sim.New(), Topo: tp, Catalog: trace.DefaultCatalog(), Policy: engine.GreedyPolicy{},
+		})
+	}
+
+	res := ShardDiffResult{Clusters: len(tp.Clusters), Requests: len(reqs)}
+
+	// Global pass: one unrestricted DSS-LC over every cluster batch,
+	// exactly as the unsharded dispatcher drives it.
+	eg := newEngine()
+	global := dsslc.New(eg, seed)
+	ga := make(dsslc.Assignment, len(reqs))
+	byCluster := make(map[topo.ClusterID][]*engine.Request)
+	for _, r := range reqs {
+		byCluster[r.Cluster] = append(byCluster[r.Cluster], eg.NewRequest(r))
+	}
+	for _, c := range tp.Clusters {
+		if q := byCluster[c.ID]; len(q) > 0 {
+			global.ScheduleBatchInto(c.ID, q, ga)
+		}
+	}
+
+	// Sharded pass on the twin engine.
+	es := newEngine()
+	sh := shard.New(es, seed, k, 2)
+	var batches []shard.Batch
+	for _, c := range tp.Clusters {
+		b := shard.Batch{Cluster: c.ID}
+		for _, r := range reqs {
+			if r.Cluster == c.ID {
+				b.Reqs = append(b.Reqs, es.NewRequest(r))
+			}
+		}
+		if len(b.Reqs) > 0 {
+			batches = append(batches, b)
+		}
+	}
+	sa := make(dsslc.Assignment, len(reqs))
+	sh.ScheduleRound(batches, sa, nil)
+	res.Overflow = sh.OverflowRouted
+
+	var err error
+	if res.GlobalCostUS, err = shardDiffCost(tp, reqs, ga); err != nil {
+		return res, fmt.Errorf("global: %w", err)
+	}
+	if res.ShardedCostUS, err = shardDiffCost(tp, reqs, sa); err != nil {
+		return res, fmt.Errorf("sharded(k=%d): %w", k, err)
+	}
+	if k == 1 {
+		for _, r := range reqs {
+			if ga[r.ID] != sa[r.ID] {
+				return res, fmt.Errorf("k=1 not bit-identical: request %d -> node %d sharded, node %d global",
+					r.ID, sa[r.ID], ga[r.ID])
+			}
+		}
+		return res, nil
+	}
+	if float64(res.ShardedCostUS) > bound*float64(res.GlobalCostUS) {
+		return res, fmt.Errorf("k=%d dispatch cost %dµs exceeds %.2fx global %dµs",
+			k, res.ShardedCostUS, bound, res.GlobalCostUS)
+	}
+	return res, nil
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/sched"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/state"
 	"repro/internal/topo"
@@ -91,6 +92,14 @@ type Options struct {
 	LCAbandonFactor float64
 	// GeoRadiusKm bounds LC candidate clusters (footnote 4).
 	GeoRadiusKm float64
+	// LCShards > 1 partitions the topology into that many geographic
+	// shards (internal/shard) and solves their DSS-LC instances
+	// concurrently, with a sequential cross-shard overflow pass; 0 or 1
+	// keeps the single global DSS-LC dispatcher. Applies only when
+	// MakeLC is nil.
+	LCShards int
+	// LCShardWorkers bounds the shard solve pool (0 = GOMAXPROCS).
+	LCShardWorkers int
 
 	// TraceSink, when non-nil, enables simulation-time tracing: a Tracer
 	// over the system clock is wired into the engine, the DSS-LC
@@ -151,8 +160,11 @@ type System struct {
 
 	lcQueues map[topo.ClusterID][]*engine.Request
 	lcAssign dsslc.Assignment // reused per dispatch round, cleared between uses
-	beQueue  []*engine.Request
-	central  topo.ClusterID
+	// shardBatches is the reused per-round batch list of the sharded
+	// LC dispatcher.
+	shardBatches []shard.Batch
+	beQueue      []*engine.Request
+	central      topo.ClusterID
 
 	Metrics *Collector
 	// Tracer is non-nil when Options.TraceSink was set.
@@ -218,7 +230,13 @@ func New(o Options) *System {
 		Prof:            o.Profiler,
 	})
 	if o.MakeLC == nil {
-		o.MakeLC = func(e *engine.Engine, seed int64) any { return dsslc.New(e, seed) }
+		if o.LCShards > 1 {
+			o.MakeLC = func(e *engine.Engine, seed int64) any {
+				return shard.New(e, seed, o.LCShards, o.LCShardWorkers)
+			}
+		} else {
+			o.MakeLC = func(e *engine.Engine, seed int64) any { return dsslc.New(e, seed) }
+		}
 	}
 	if o.MakeBE == nil {
 		o.MakeBE = func(e *engine.Engine, seed int64) any { return dcgbe.New(e, seed) }
@@ -230,10 +248,19 @@ func New(o Options) *System {
 		lc.Prof = o.Profiler
 		lc.OnDecision = func(d obs.Decision) { s.SLO.NoteDecision(d.ID, d.At) }
 	}
+	if sh, ok := s.lcSched.(*shard.Scheduler); ok {
+		sh.GeoRadiusKm = o.GeoRadiusKm
+		sh.Tracer = s.Tracer
+		sh.Prof = o.Profiler
+		sh.OnDecision = func(d obs.Decision) { s.SLO.NoteDecision(d.ID, d.At) }
+	}
 	if o.Verify {
 		s.Verifier = check.NewVerifier(s.Sim.Now)
 		if lc, ok := s.lcSched.(*dsslc.Scheduler); ok {
 			lc.OnSolve = s.Verifier.FlowHook()
+		}
+		if sh, ok := s.lcSched.(*shard.Scheduler); ok {
+			sh.OnSolve = s.Verifier.FlowHook()
 		}
 	}
 
@@ -383,6 +410,12 @@ func (s *System) Run(until time.Duration) {
 func (s *System) dispatch() {
 	s.opts.Profiler.Enter(perf.PhaseEngineDispatch)
 	defer s.opts.Profiler.Exit(perf.PhaseEngineDispatch)
+	if sh, ok := s.lcSched.(*shard.Scheduler); ok {
+		// Sharded LC: one coordinated round over every master's queue.
+		s.dispatchSharded(sh)
+		s.dispatchBE()
+		return
+	}
 	// LC: each master dispatches its own queue (distributed decisions).
 	for _, c := range s.Topo.Clusters {
 		q := s.lcQueues[c.ID]
@@ -431,7 +464,46 @@ func (s *System) dispatch() {
 			panic(fmt.Sprintf("core: LC scheduler %T implements no known interface", s.lcSched))
 		}
 	}
-	// BE: centralized dispatcher.
+	s.dispatchBE()
+}
+
+// dispatchSharded runs one shard-parallel LC round: every non-empty
+// master queue becomes a batch, batches are scheduled by the sharded
+// layer, and each batch is dispatched through the deliver callback —
+// immediately after its solve in single-shard mode (the exact unsharded
+// interleave), after the join and overflow pass otherwise.
+func (s *System) dispatchSharded(sh *shard.Scheduler) {
+	s.shardBatches = s.shardBatches[:0]
+	for _, c := range s.Topo.Clusters {
+		q := s.lcQueues[c.ID]
+		if len(q) == 0 {
+			continue
+		}
+		s.lcQueues[c.ID] = nil
+		s.shardBatches = append(s.shardBatches, shard.Batch{Cluster: c.ID, Reqs: q})
+	}
+	if len(s.shardBatches) == 0 {
+		return
+	}
+	if s.lcAssign == nil {
+		s.lcAssign = make(dsslc.Assignment)
+	} else {
+		clear(s.lcAssign)
+	}
+	a := s.lcAssign
+	sh.ScheduleRound(s.shardBatches, a, func(b shard.Batch) {
+		for _, r := range b.Reqs {
+			if nid, ok := a[r.ID]; ok {
+				s.Engine.Dispatch(r, nid)
+			} else {
+				s.requeueLC(b.Cluster, r)
+			}
+		}
+	})
+}
+
+// dispatchBE drains the centralized BE queue.
+func (s *System) dispatchBE() {
 	if len(s.beQueue) == 0 {
 		return
 	}
@@ -511,6 +583,8 @@ type Collector struct {
 	nodeGauges     []nodeGauges
 	phiGauges      map[int]phiGauges
 	solverGauges   *solverGauges
+	shardGauges    []shardGauges
+	overflowGauge  *obs.Gauge
 	gatherBuf      []obs.Sample // reused across scrapes (zero-alloc Gather)
 
 	// Performance observability (nil unless Options.Profiler was set):
@@ -545,6 +619,16 @@ type solverGauges struct {
 	solves   *obs.Gauge
 	warmHits *obs.Gauge
 	warmRate *obs.Gauge
+}
+
+// shardGauges caches one shard's solver series (sharded dispatcher
+// only), labeled {shard="sN"}.
+type shardGauges struct {
+	solves   *obs.Gauge
+	warmHits *obs.Gauge
+	warmRate *obs.Gauge
+	clusters *obs.Gauge
+	overflow *obs.Gauge
 }
 
 // clusterStats caches the per-cluster counter handles so the arrival and
@@ -723,12 +807,26 @@ func (c *Collector) updateSLOGauges() {
 // updateSolverGauges refreshes the DSS-LC solver health gauges (no-op
 // for baseline schedulers and before the first solve).
 func (c *Collector) updateSolverGauges() {
-	lc, ok := c.sys.lcSched.(*dsslc.Scheduler)
-	if !ok {
-		return
-	}
-	ws := lc.Workspace()
-	if ws == nil {
+	var solves, warmHits uint64
+	switch lc := c.sys.lcSched.(type) {
+	case *dsslc.Scheduler:
+		ws := lc.Workspace()
+		if ws == nil {
+			return
+		}
+		solves, warmHits = ws.Solves, ws.WarmHits
+	case *shard.Scheduler:
+		solves, warmHits = lc.SolverTotals()
+		if solves == 0 {
+			return
+		}
+		// Per-shard series only exist in genuinely sharded mode; the K=1
+		// degenerate scheduler keeps the exact unsharded gauge set (and
+		// so the exact unsharded report digest).
+		if lc.NumShards() > 1 {
+			c.updateShardGauges(lc)
+		}
+	default:
 		return
 	}
 	if c.solverGauges == nil {
@@ -738,13 +836,45 @@ func (c *Collector) updateSolverGauges() {
 			warmRate: c.registry.Gauge("tango_solver_warm_hit_rate", obs.Labels{}),
 		}
 	}
-	c.solverGauges.solves.Set(float64(ws.Solves))
-	c.solverGauges.warmHits.Set(float64(ws.WarmHits))
+	c.solverGauges.solves.Set(float64(solves))
+	c.solverGauges.warmHits.Set(float64(warmHits))
 	rate := 0.0
-	if ws.Solves > 0 {
-		rate = float64(ws.WarmHits) / float64(ws.Solves)
+	if solves > 0 {
+		rate = float64(warmHits) / float64(solves)
 	}
 	c.solverGauges.warmRate.Set(rate)
+}
+
+// updateShardGauges refreshes the per-shard solver series of the
+// sharded LC dispatcher (tango_solver_shard_*, labeled by shard).
+func (c *Collector) updateShardGauges(sh *shard.Scheduler) {
+	if c.shardGauges == nil {
+		c.shardGauges = make([]shardGauges, sh.NumShards())
+		for i := range c.shardGauges {
+			l := obs.Labels{Shard: fmt.Sprintf("s%d", i)}
+			c.shardGauges[i] = shardGauges{
+				solves:   c.registry.Gauge("tango_solver_shard_solves_total", l),
+				warmHits: c.registry.Gauge("tango_solver_shard_warm_hits_total", l),
+				warmRate: c.registry.Gauge("tango_solver_shard_warm_hit_rate", l),
+				clusters: c.registry.Gauge("tango_solver_shard_clusters", l),
+				overflow: c.registry.Gauge("tango_solver_shard_overflow_total", l),
+			}
+		}
+		c.overflowGauge = c.registry.Gauge("tango_solver_overflow_routed_total", obs.Labels{})
+	}
+	for _, st := range sh.Stats() {
+		g := c.shardGauges[st.Shard]
+		g.solves.Set(float64(st.Solves))
+		g.warmHits.Set(float64(st.WarmHits))
+		rate := 0.0
+		if st.Solves > 0 {
+			rate = float64(st.WarmHits) / float64(st.Solves)
+		}
+		g.warmRate.Set(rate)
+		g.clusters.Set(float64(st.Clusters))
+		g.overflow.Set(float64(st.Overflow))
+	}
+	c.overflowGauge.Set(float64(sh.OverflowRouted))
 }
 
 // sampleRuntime reads the Go runtime/metrics harvester into perf_*
@@ -911,7 +1041,12 @@ func (s *System) Summarize(name string) Summary {
 // hashed by obs.ConfigDigest.
 func (s *System) ConfigMap(name string) map[string]string {
 	o := s.opts
+	lcShards := 1
+	if sh, ok := s.lcSched.(*shard.Scheduler); ok {
+		lcShards = sh.NumShards()
+	}
 	return map[string]string{
+		"lc_shards":         fmt.Sprintf("%d", lcShards),
 		"system":            name,
 		"lc_scheduler":      s.LCSchedulerName(),
 		"be_scheduler":      s.BESchedulerName(),

@@ -67,6 +67,22 @@ type Scheduler struct {
 	Tracer     *obs.Tracer
 	OnDecision func(obs.Decision)
 
+	// Sharding hooks (internal/shard). Restrict, when set, filters the
+	// geo-nearby candidate clusters: only neighbors it accepts
+	// contribute workers (the home cluster always does). Pending, when
+	// set, reports resources assigned toward a node by other schedulers
+	// this period but not yet dispatched into the engine, so concurrent
+	// shard solves and the cross-shard overflow pass do not double-book
+	// capacity the engine cannot see yet. OverflowSink, when set,
+	// receives each type's ρ-shuffled overflow set instead of the
+	// scheduler routing it on Ĝ'_k — the shard layer re-routes those
+	// requests across shard boundaries. The rs slice aliases a pooled
+	// buffer, dead after the next ScheduleBatchInto call: sinks must
+	// copy what they keep.
+	Restrict     func(topo.ClusterID) bool
+	Pending      func(topo.NodeID) res.Vector
+	OverflowSink func(c topo.ClusterID, svc trace.TypeID, rs []*engine.Request)
+
 	// OnSolve, when set, observes every min-cost-flow solve with the
 	// solved residual graph still intact. internal/check hangs its
 	// differential oracles here (flow conservation, nonnegative flow and
@@ -222,7 +238,11 @@ func (s *Scheduler) ScheduleBatchInto(c topo.ClusterID, reqs []*engine.Request, 
 			// Availability per §4.1 regulations (idle + BE-held), minus
 			// what earlier dispatch rounds queued at or sent toward the
 			// node and what this batch already assigned.
-			avail := w.AvailableForLC().Sub(w.QueuedLCDemand()).Sub(w.InTransit()).Sub(reserved[i]).Max(res.Vector{})
+			avail := w.AvailableForLC().Sub(w.QueuedLCDemand()).Sub(w.InTransit()).Sub(reserved[i])
+			if s.Pending != nil {
+				avail = avail.Sub(s.Pending(w.ID))
+			}
+			avail = avail.Max(res.Vector{})
 			caps[i] = avail.CapacityCount(demand[i])
 			capTotal += caps[i]
 		}
@@ -238,6 +258,12 @@ func (s *Scheduler) ScheduleBatchInto(c topo.ClusterID, reqs []*engine.Request, 
 		overflow := rs[capTotal:]
 		if len(immediate) > 0 {
 			book(s.route(c, svc, obs.PhaseImmediate, immediate, workers, caps, out))
+		}
+		if s.OverflowSink != nil {
+			// The shard layer takes the overflow across shard boundaries
+			// instead of queueing it on the local Ĝ'_k.
+			s.OverflowSink(c, svc, overflow)
+			continue
 		}
 		// Ĝ'_k: total-resource capacities scaled by λ (Eq. 7–8).
 		totals := growInt64s(&s.totals, len(workers))
@@ -301,8 +327,16 @@ func (s *Scheduler) route(c topo.ClusterID, svc trace.TypeID, phase string, rs [
 	// usually has the same shape (same candidate workers, same RTT
 	// costs, capacities varying only in magnitude), so the workspace
 	// replays the previous period's first Dijkstra pass — results are
-	// identical to a cold MinCostFlow either way.
-	solved := g.WarmStart(src, sink, int64(len(rs)))
+	// identical to a cold MinCostFlow either way. The memo is keyed by
+	// (cluster, type, phase): a batch interleaves one solve per
+	// commodity, and per-commodity entries stop those solves from
+	// evicting each other's memos (the single-entry memo only ever
+	// warm-hit the last commodity solved).
+	key := uint64(c)<<32 | uint64(svc)<<1
+	if phase == obs.PhaseOverflow {
+		key |= 1
+	}
+	solved := g.WarmStartAt(key, src, sink, int64(len(rs)))
 	if s.OnSolve != nil {
 		s.OnSolve(g, src, sink, solved)
 	}
@@ -384,6 +418,9 @@ func (s *Scheduler) candidates(c topo.ClusterID) []*engine.Node {
 		}
 	}
 	for _, nc := range s.neighborsOf(t, c) {
+		if s.Restrict != nil && !s.Restrict(nc) {
+			continue
+		}
 		for _, w := range t.WorkersOf(nc) {
 			if n := s.Engine.Node(w); !n.Down() {
 				out = append(out, n)

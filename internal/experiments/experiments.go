@@ -48,6 +48,11 @@ type Config struct {
 	// and before any request is injected — the hook a live telemetry
 	// server uses to point /metrics at the run currently executing.
 	OnSystem func(*core.System)
+	// Shards, when >1, partitions LC scheduling by region through the
+	// sharded layer (internal/shard). It only affects systems running
+	// the default DSS-LC scheduler — baselines that install their own
+	// MakeLC are untouched.
+	Shards int
 }
 
 // apply threads the experiment-level observability settings into one
@@ -56,6 +61,9 @@ func (c Config) apply(o core.Options) core.Options {
 	o.TraceSink = c.TraceSink
 	if o.TraceTag == "" {
 		o.TraceTag = c.TraceTag
+	}
+	if c.Shards > 0 {
+		o.LCShards = c.Shards
 	}
 	return o
 }

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShardRoundPoint exercises one tiny scale-suite point per shard
+// count: same fleet and request population regardless of K, every
+// round completes, and the measure hook sees exactly one invocation
+// (the point is defined as a cold round — a second call would ride the
+// warm-start memo).
+func TestShardRoundPoint(t *testing.T) {
+	const nodes = 400 // 20 clusters x 20 workers
+	for _, k := range []int{1, 2, 4} {
+		calls := 0
+		el, reqs, overflow := ShardRound(1, nodes, k, func(fn func()) time.Duration {
+			calls++
+			start := time.Now()
+			fn()
+			return time.Since(start)
+		})
+		if calls != 1 {
+			t.Fatalf("k=%d: measure invoked %d times, want 1", k, calls)
+		}
+		if want := int64(nodes / 20 * 8); reqs != want {
+			t.Fatalf("k=%d: %d requests, want %d", k, reqs, want)
+		}
+		if el <= 0 {
+			t.Fatalf("k=%d: non-positive round time %v", k, el)
+		}
+		if overflow < 0 || overflow > reqs {
+			t.Fatalf("k=%d: overflow %d outside [0, %d]", k, overflow, reqs)
+		}
+	}
+}

@@ -10,6 +10,9 @@ import "repro/internal/perf"
 // MaxFlowDinic computes a maximum flow from source to sink with Dinic's
 // blocking-flow algorithm. Costs are ignored. The graph retains the flow
 // for Flow queries (call Reset first if the graph was already solved).
+// With a Workspace attached, the level/iterator/queue scratch is pooled
+// there and steady-state calls perform zero heap allocations (asserted
+// in workspace_test.go); without one, a throwaway workspace is used.
 func (g *Graph) MaxFlowDinic(source, sink int) int64 {
 	n := len(g.adj)
 	if source < 0 || source >= n || sink < 0 || sink >= n {
@@ -21,16 +24,19 @@ func (g *Graph) MaxFlowDinic(source, sink int) int64 {
 	prof := g.prof
 	prof.Enter(perf.PhaseSolveDinic)
 	defer prof.Exit(perf.PhaseSolveDinic)
-	level := make([]int, n)
-	iter := make([]int, n)
-	queue := make([]int, 0, n)
+	ws := g.ws
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.growDinic(n)
+	level, iter := ws.level[:n], ws.iter[:n]
 
 	bfs := func() bool {
 		for i := range level {
 			level[i] = -1
 		}
 		level[source] = 0
-		queue = queue[:0]
+		queue := ws.queue[:0]
 		queue = append(queue, source)
 		for qi := 0; qi < len(queue); qi++ {
 			u := queue[qi]
@@ -41,32 +47,8 @@ func (g *Graph) MaxFlowDinic(source, sink int) int64 {
 				}
 			}
 		}
+		ws.queue = queue[:0]
 		return level[sink] >= 0
-	}
-
-	var dfs func(u int, limit int64) int64
-	dfs = func(u int, limit int64) int64 {
-		if u == sink {
-			return limit
-		}
-		for ; iter[u] < len(g.adj[u]); iter[u]++ {
-			a := &g.adj[u][iter[u]]
-			if a.cap <= 0 || level[a.to] != level[u]+1 {
-				continue
-			}
-			push := limit
-			if a.cap < push {
-				push = a.cap
-			}
-			got := dfs(a.to, push)
-			if got > 0 {
-				a.cap -= got
-				g.adj[a.to][a.rev].cap += got
-				return got
-			}
-			// Dead end: do not retry this arc in the current phase.
-		}
-		return 0
 	}
 
 	const inf = int64(1) << 60
@@ -76,7 +58,7 @@ func (g *Graph) MaxFlowDinic(source, sink int) int64 {
 			iter[i] = 0
 		}
 		for {
-			f := dfs(source, inf)
+			f := g.dinicDFS(level, iter, sink, source, inf)
 			if f == 0 {
 				break
 			}
@@ -87,4 +69,32 @@ func (g *Graph) MaxFlowDinic(source, sink int) int64 {
 		g.pristine = false
 	}
 	return total
+}
+
+// dinicDFS pushes one blocking-flow augmentation along the level graph.
+// A method rather than a recursive closure: the closure's self-reference
+// forced it onto the heap, making every MaxFlowDinic call allocate even
+// with pooled slices.
+func (g *Graph) dinicDFS(level, iter []int, sink, u int, limit int64) int64 {
+	if u == sink {
+		return limit
+	}
+	for ; iter[u] < len(g.adj[u]); iter[u]++ {
+		a := &g.adj[u][iter[u]]
+		if a.cap <= 0 || level[a.to] != level[u]+1 {
+			continue
+		}
+		push := limit
+		if a.cap < push {
+			push = a.cap
+		}
+		got := g.dinicDFS(level, iter, sink, a.to, push)
+		if got > 0 {
+			a.cap -= got
+			g.adj[a.to][a.rev].cap += got
+			return got
+		}
+		// Dead end: do not retry this arc in the current phase.
+	}
+	return 0
 }

@@ -125,7 +125,11 @@ type Result struct {
 // total cost. Pass math.MaxInt64 as maxFlow for a min-cost max-flow.
 // The graph retains the flow assignment for Flow queries.
 func (g *Graph) MinCostFlow(source, sink int, maxFlow int64) Result {
-	return g.solve(source, sink, maxFlow, false)
+	var m *memo
+	if g.ws != nil {
+		m = &g.ws.def
+	}
+	return g.solve(source, sink, maxFlow, false, m)
 }
 
 // WarmStart is MinCostFlow with a cross-period warm start: when the
@@ -139,16 +143,42 @@ func (g *Graph) MinCostFlow(source, sink int, maxFlow int64) Result {
 // the memo does not apply, WarmStart degrades to a cold solve (and
 // refreshes the memo for the next period).
 func (g *Graph) WarmStart(source, sink int, maxFlow int64) Result {
-	return g.solve(source, sink, maxFlow, true)
+	var m *memo
+	if g.ws != nil {
+		m = &g.ws.def
+	}
+	return g.solve(source, sink, maxFlow, true, m)
+}
+
+// WarmStartAt is WarmStart against the workspace's keyed memo table
+// instead of the single default entry: solves with the same key share
+// one memo, solves with different keys never evict each other. A
+// scheduler interleaving many commodities per period keys each solve by
+// its (cluster, type, phase) identity so every commodity warm-starts
+// from its own previous period — with the single-entry memo, rebuilding
+// a different commodity's graph shape between periods would miss every
+// time. Results are bit-identical to MinCostFlow, as with WarmStart.
+// Without a workspace attached it degrades to a cold solve.
+func (g *Graph) WarmStartAt(key uint64, source, sink int, maxFlow int64) Result {
+	var m *memo
+	if g.ws != nil {
+		m = g.ws.memoAt(key)
+	}
+	return g.solve(source, sink, maxFlow, true, m)
 }
 
 // Warmed reports whether a WarmStart solve from source would currently
 // replay the memoized first pass rather than run a cold Dijkstra.
 func (g *Graph) Warmed(source int) bool {
-	return g.ws != nil && g.pristine && g.ws.matches(g, source)
+	return g.ws != nil && g.pristine && g.ws.def.matches(g, source)
 }
 
-func (g *Graph) solve(source, sink int, maxFlow int64, warm bool) Result {
+// WarmedAt is Warmed for a keyed memo entry.
+func (g *Graph) WarmedAt(key uint64, source int) bool {
+	return g.ws != nil && g.pristine && g.ws.table[key].matches(g, source)
+}
+
+func (g *Graph) solve(source, sink int, maxFlow int64, warm bool, m *memo) Result {
 	n := len(g.adj)
 	if source < 0 || source >= n || sink < 0 || sink >= n {
 		panic("flow: source/sink out of range")
@@ -176,7 +206,7 @@ func (g *Graph) solve(source, sink int, maxFlow int64, warm bool) Result {
 	// runs on a residual network the memo knows nothing about. Capture,
 	// conversely, happens on the first cold pass of a pristine solve
 	// when a persistent workspace is attached.
-	useMemo := warm && g.pristine && ws.matches(g, source)
+	useMemo := warm && g.pristine && m.matches(g, source)
 	capture := g.ws != nil && g.pristine && !useMemo
 	first := true
 	var total Result
@@ -185,9 +215,9 @@ func (g *Graph) solve(source, sink int, maxFlow int64, warm bool) Result {
 		// Dijkstra on reduced costs (the Johnson-potential search).
 		prof.Enter(perf.PhaseSolveDijkstra)
 		if first && useMemo {
-			copy(dist, ws.memoDist[:n])
-			copy(prevNode, ws.memoPrevNode[:n])
-			copy(prevArc, ws.memoPrevArc[:n])
+			copy(dist, m.dist[:n])
+			copy(prevNode, m.prevNode[:n])
+			copy(prevArc, m.prevArc[:n])
 			ws.WarmHits++
 		} else {
 			for i := range dist {
@@ -218,7 +248,7 @@ func (g *Graph) solve(source, sink int, maxFlow int64, warm bool) Result {
 				}
 			}
 			if first && capture {
-				ws.capture(g, source, dist, prevNode, prevArc)
+				m.capture(g, source, dist, prevNode, prevArc)
 			}
 		}
 		first = false

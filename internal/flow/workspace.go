@@ -2,7 +2,7 @@ package flow
 
 // The solver workspace: pooled scratch state that makes the MCNF hot
 // path steady-state allocation-free and carries the cross-period
-// warm-start memo.
+// warm-start memos.
 //
 // Every MinCostFlow/WarmStart solve needs four node-indexed scratch
 // arrays (Johnson potentials, tentative distances, and the shortest-path
@@ -13,7 +13,9 @@ package flow
 // Workspace owns those buffers and grows them monotonically, so a
 // warmed solver performs zero heap allocations per solve (asserted by
 // testing.AllocsPerRun in workspace_test.go and gated by
-// `tango-bench -compare -alloc-threshold`).
+// `tango-bench -compare -alloc-threshold`). Dinic's level/iterator/BFS
+// scratch lives here too, so the feasibility probe shares the same
+// zero-allocation contract.
 //
 // The warm-start memo exploits a structural fact of the SSP solver: the
 // first Dijkstra pass runs on the pristine graph with all-zero
@@ -28,6 +30,17 @@ package flow
 // search is bit-identical: warm and cold solves return the same
 // Result and the same per-edge flows (the differential sweep in
 // internal/check proves this over hundreds of seeded graphs).
+//
+// A workspace holds one *default* memo (fed by WarmStart) plus a keyed
+// memo table (fed by WarmStartAt). A scheduler interleaving solves for
+// many (cluster, type) commodities per period rebuilds a different
+// graph shape per commodity; with a single memo entry each rebuild
+// evicts the previous commodity's first pass and the warm-hit rate
+// collapses to the single-commodity case. Keying the memo by the
+// caller's commodity identity gives every commodity its own entry, so
+// each one replays its own previous period. Table entries are created
+// on first sight of a key and reused forever after; steady-state keyed
+// solves allocate nothing.
 
 // pqItem is one entry of the solver's priority queue.
 type pqItem struct {
@@ -35,7 +48,7 @@ type pqItem struct {
 	dist int64
 }
 
-// memoEdge is one arc of the warm-start memo's shape snapshot. `open`
+// memoEdge is one arc of a warm-start memo's shape snapshot. `open`
 // records whether the arc had positive capacity at capture time: the
 // first Dijkstra pass sees only open arcs, so capacities may change
 // magnitude between periods without invalidating the memo as long as
@@ -46,10 +59,57 @@ type memoEdge struct {
 	open     bool
 }
 
+// memo is one memoized first Dijkstra pass: the shape snapshot that
+// keys it and the labels that replay it.
+type memo struct {
+	valid    bool
+	src      int
+	n        int
+	shape    []memoEdge
+	dist     []int64
+	prevNode []int
+	prevArc  []int
+}
+
+// capture memoizes the first Dijkstra pass of a pristine solve.
+func (m *memo) capture(g *Graph, src int, dist []int64, prevNode, prevArc []int) {
+	m.src, m.n = src, len(g.adj)
+	m.shape = m.shape[:0]
+	for _, e := range g.edges {
+		a := &g.adj[e.from][e.idx]
+		m.shape = append(m.shape, memoEdge{
+			from: int32(e.from), to: int32(a.to), cost: a.cost, open: a.cap > 0,
+		})
+	}
+	m.dist = append(m.dist[:0], dist...)
+	m.prevNode = append(m.prevNode[:0], prevNode...)
+	m.prevArc = append(m.prevArc[:0], prevArc...)
+	m.valid = true
+}
+
+// matches reports whether the memo's shape snapshot is exactly the
+// graph's current (pristine) shape with the same source. A full
+// structural compare, not a hash: O(E) against the Dijkstra it saves,
+// and immune to collisions.
+func (m *memo) matches(g *Graph, src int) bool {
+	if m == nil || !m.valid || m.src != src || m.n != len(g.adj) || len(m.shape) != len(g.edges) {
+		return false
+	}
+	for i, e := range g.edges {
+		a := &g.adj[e.from][e.idx]
+		me := m.shape[i]
+		if int(me.from) != e.from || int(me.to) != a.to || me.cost != a.cost || me.open != (a.cap > 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // Workspace pools the solver's scratch state across solves and across
 // graphs. Attach one to a Graph with SetWorkspace; a single workspace
-// must not be shared by concurrently-solving graphs (the simulation is
-// single-threaded, like the rest of the repo's hot path).
+// must not be shared by concurrently-solving graphs (the sharded
+// scheduler gives every shard its own graph + workspace pair for
+// exactly this reason).
 type Workspace struct {
 	dist      []int64
 	potential []int64
@@ -57,18 +117,18 @@ type Workspace struct {
 	prevArc   []int
 	heap      []pqItem
 
-	// Warm-start memo: the first Dijkstra pass of the most recent solve
-	// that started from a pristine graph, keyed by source and shape.
-	memoValid    bool
-	memoSrc      int
-	memoN        int
-	memoShape    []memoEdge
-	memoDist     []int64
-	memoPrevNode []int
-	memoPrevArc  []int
+	// Dinic scratch (level graph, per-node arc iterators, BFS queue).
+	level []int
+	iter  []int
+	queue []int
+
+	// def is the default warm-start memo (WarmStart); table holds the
+	// keyed memos (WarmStartAt), created lazily per key.
+	def   memo
+	table map[uint64]*memo
 
 	// Solves counts solves routed through this workspace; WarmHits the
-	// subset that replayed the memo instead of running the first
+	// subset that replayed a memo instead of running the first
 	// Dijkstra. Exposed so tests and benchmarks can assert the warm
 	// path is actually taken.
 	Solves   uint64
@@ -90,40 +150,36 @@ func (ws *Workspace) grow(n int) {
 	ws.prevArc = make([]int, n)
 }
 
-// capture memoizes the first Dijkstra pass of a pristine solve: the
-// shape snapshot that keys it and the labels that replay it.
-func (ws *Workspace) capture(g *Graph, src int, dist []int64, prevNode, prevArc []int) {
-	ws.memoSrc, ws.memoN = src, len(g.adj)
-	ws.memoShape = ws.memoShape[:0]
-	for _, e := range g.edges {
-		a := &g.adj[e.from][e.idx]
-		ws.memoShape = append(ws.memoShape, memoEdge{
-			from: int32(e.from), to: int32(a.to), cost: a.cost, open: a.cap > 0,
-		})
+// growDinic ensures the Dinic scratch arrays can hold n entries.
+func (ws *Workspace) growDinic(n int) {
+	if cap(ws.level) >= n {
+		ws.level = ws.level[:n]
+		ws.iter = ws.iter[:n]
+		return
 	}
-	ws.memoDist = append(ws.memoDist[:0], dist...)
-	ws.memoPrevNode = append(ws.memoPrevNode[:0], prevNode...)
-	ws.memoPrevArc = append(ws.memoPrevArc[:0], prevArc...)
-	ws.memoValid = true
+	ws.level = make([]int, n)
+	ws.iter = make([]int, n)
+	ws.queue = make([]int, 0, n)
 }
 
-// matches reports whether the memo's shape snapshot is exactly the
-// graph's current (pristine) shape with the same source. A full
-// structural compare, not a hash: O(E) against the Dijkstra it saves,
-// and immune to collisions.
-func (ws *Workspace) matches(g *Graph, src int) bool {
-	if !ws.memoValid || ws.memoSrc != src || ws.memoN != len(g.adj) || len(ws.memoShape) != len(g.edges) {
-		return false
+// memoAt returns the keyed memo entry, creating it on first use. The
+// map read on the steady-state path is allocation-free; only a key's
+// first appearance allocates its entry.
+func (ws *Workspace) memoAt(key uint64) *memo {
+	if m, ok := ws.table[key]; ok {
+		return m
 	}
-	for i, e := range g.edges {
-		a := &g.adj[e.from][e.idx]
-		m := ws.memoShape[i]
-		if int(m.from) != e.from || int(m.to) != a.to || m.cost != a.cost || m.open != (a.cap > 0) {
-			return false
-		}
+	if ws.table == nil {
+		ws.table = make(map[uint64]*memo)
 	}
-	return true
+	m := &memo{}
+	ws.table[key] = m
+	return m
 }
+
+// MemoEntries reports how many keyed memo entries the workspace holds
+// (the default WarmStart memo is not counted).
+func (ws *Workspace) MemoEntries() int { return len(ws.table) }
 
 // The priority queue is a hand-rolled index-based binary heap over the
 // workspace's pqItem slice. It replicates container/heap's exact sift

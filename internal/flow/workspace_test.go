@@ -175,13 +175,143 @@ func TestWarmedSolveAllocFree(t *testing.T) {
 	if cold != 0 {
 		t.Fatalf("pooled cold Clear+rebuild+MinCostFlow allocates %.1f/op, want 0", cold)
 	}
+	g.Reset()
+	g.MaxFlowDinic(0, 3) // grow the Dinic scratch
 	dinic := testing.AllocsPerRun(100, func() {
 		g.Reset()
 		g.MaxFlowDinic(0, 3)
 	})
-	// Dinic still builds its own level/iter scratch; it is off the
-	// DSS-LC hot path, so its budget is merely "bounded", not zero.
-	if dinic > 8 {
-		t.Fatalf("Dinic allocates %.1f/op, want <= 8", dinic)
+	// Dinic scratch is pooled in the workspace and the blocking-flow DFS
+	// is a method, not a heap-escaping closure: zero allocations, same
+	// budget as the SSP path.
+	if dinic != 0 {
+		t.Fatalf("pooled Dinic allocates %.1f/op, want 0", dinic)
+	}
+}
+
+// TestDinicWithoutWorkspaceStillCorrect pins the fallback path: a graph
+// with no workspace attached builds throwaway scratch and must agree
+// with the pooled solve.
+func TestDinicWithoutWorkspaceStillCorrect(t *testing.T) {
+	bare := NewGraph()
+	buildDiamond(bare)
+	pooled := NewGraph()
+	pooled.SetWorkspace(NewWorkspace())
+	buildDiamond(pooled)
+	if b, p := bare.MaxFlowDinic(0, 3), pooled.MaxFlowDinic(0, 3); b != p || b != 5 {
+		t.Fatalf("bare dinic %d, pooled %d, want 5", b, p)
+	}
+}
+
+// TestWarmStartAtKeyedMemos is the per-commodity memo table: two
+// interleaved graph shapes keyed separately both warm-hit every period,
+// where the single-entry WarmStart memo would evict on every alternation.
+func TestWarmStartAtKeyedMemos(t *testing.T) {
+	g := NewGraph()
+	ws := NewWorkspace()
+	g.SetWorkspace(ws)
+
+	// Shape A: the diamond. Shape B: same nodes, different costs.
+	buildA := func() { rebuildDiamond(g) }
+	buildB := func() {
+		g.Clear()
+		g.AddNodes(4)
+		g.AddEdge(0, 1, 2, 7)
+		g.AddEdge(1, 3, 2, 0)
+		g.AddEdge(0, 2, 3, 2)
+		g.AddEdge(2, 3, 3, 0)
+	}
+
+	buildA()
+	ra := g.WarmStartAt(1, 0, 3, unbounded)
+	buildB()
+	rb := g.WarmStartAt(2, 0, 3, unbounded)
+	if ws.WarmHits != 0 {
+		t.Fatalf("WarmHits = %d after capture round, want 0", ws.WarmHits)
+	}
+	if ws.MemoEntries() != 2 {
+		t.Fatalf("MemoEntries = %d, want 2", ws.MemoEntries())
+	}
+	// Every later period warm-hits both keys, and results stay identical
+	// to the capture round.
+	for period := 0; period < 3; period++ {
+		buildA()
+		if !g.WarmedAt(1, 0) {
+			t.Fatalf("period %d: key 1 not warmed", period)
+		}
+		if g.WarmedAt(2, 0) {
+			t.Fatalf("period %d: key 2 claims warm for shape A", period)
+		}
+		if r := g.WarmStartAt(1, 0, 3, unbounded); r != ra {
+			t.Fatalf("period %d: keyed warm solve %+v, cold %+v", period, r, ra)
+		}
+		buildB()
+		if r := g.WarmStartAt(2, 0, 3, unbounded); r != rb {
+			t.Fatalf("period %d: keyed warm solve %+v, cold %+v", period, r, rb)
+		}
+	}
+	if ws.WarmHits != 6 {
+		t.Fatalf("WarmHits = %d, want 6 (every post-capture solve)", ws.WarmHits)
+	}
+	// The single-entry path alternating the same two shapes through
+	// WarmStart would never hit: each build evicts the other's memo.
+	ws2 := NewWorkspace()
+	g2 := NewGraph()
+	g2.SetWorkspace(ws2)
+	g2.Clear()
+	g2.AddNodes(4)
+	g2.AddEdge(0, 1, 2, 1)
+	g2.AddEdge(1, 3, 2, 0)
+	g2.AddEdge(0, 2, 3, 5)
+	g2.AddEdge(2, 3, 3, 0)
+	g2.WarmStart(0, 3, unbounded)
+	for period := 0; period < 3; period++ {
+		g2.Clear()
+		g2.AddNodes(4)
+		g2.AddEdge(0, 1, 2, 7)
+		g2.AddEdge(1, 3, 2, 0)
+		g2.AddEdge(0, 2, 3, 2)
+		g2.AddEdge(2, 3, 3, 0)
+		g2.WarmStart(0, 3, unbounded)
+		g2.Clear()
+		g2.AddNodes(4)
+		g2.AddEdge(0, 1, 2, 1)
+		g2.AddEdge(1, 3, 2, 0)
+		g2.AddEdge(0, 2, 3, 5)
+		g2.AddEdge(2, 3, 3, 0)
+		g2.WarmStart(0, 3, unbounded)
+	}
+	if ws2.WarmHits != 0 {
+		t.Fatalf("single-entry alternation WarmHits = %d, want 0", ws2.WarmHits)
+	}
+}
+
+// TestWarmStartAtAllocFree extends the zero-allocation budget to the
+// keyed path: after the capture round, Clear+rebuild+WarmStartAt
+// allocates nothing (map reads of an existing key are free).
+func TestWarmStartAtAllocFree(t *testing.T) {
+	g := NewGraph()
+	g.SetWorkspace(NewWorkspace())
+	buildDiamond(g)
+	g.WarmStartAt(7, 0, 3, unbounded)
+	allocs := testing.AllocsPerRun(100, func() {
+		rebuildDiamond(g)
+		g.WarmStartAt(7, 0, 3, unbounded)
+	})
+	if allocs != 0 {
+		t.Fatalf("keyed warm rebuild+solve allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestWarmStartAtWithoutWorkspace pins the degraded mode: no workspace,
+// keyed warm start is just a cold solve.
+func TestWarmStartAtWithoutWorkspace(t *testing.T) {
+	g := NewGraph()
+	buildDiamond(g)
+	if r := g.WarmStartAt(3, 0, 3, unbounded); r.Flow != 5 || r.Cost != 17 {
+		t.Fatalf("workspace-free WarmStartAt = %+v, want flow 5 cost 17", r)
+	}
+	if g.WarmedAt(3, 0) {
+		t.Fatal("workspace-free graph claims warmed")
 	}
 }

@@ -16,6 +16,7 @@ import (
 type Labels struct {
 	Cluster string
 	Node    string
+	Shard   string
 	Service string
 }
 
@@ -42,6 +43,7 @@ func (l Labels) String() string {
 	}
 	add("cluster", l.Cluster)
 	add("node", l.Node)
+	add("shard", l.Shard)
 	add("service", l.Service)
 	b.WriteByte('}')
 	return b.String()

@@ -1,0 +1,109 @@
+package topo
+
+import "sort"
+
+// Geographic shard partitioning for the sharded scheduler: split the
+// cluster set into k contiguous regions so that each shard's DSS-LC
+// instance solves a small, geographically coherent MCNF. Because the LC
+// dispatch radius (footnote 4) is geographic, clusters that can serve
+// each other's overflow tend to land in the same shard, which keeps the
+// cross-shard overflow pass small.
+//
+// The partitioner is a recursive weighted coordinate bisection: at each
+// step the current region is split along its wider axis (latitude or
+// longitude extent) at the point that balances the summed worker counts
+// of the two halves, and the shard budget k is divided between the
+// halves proportionally. It is deterministic — clusters at the same
+// coordinate are ordered by ClusterID — and cheap (O(C log C log k)),
+// so it can run once at startup even for 100k-node topologies.
+
+// PartitionClusters assigns every cluster to one of k shards and
+// returns the assignment indexed by ClusterID. Shard indices are dense
+// in [0, k); a shard may be empty when k exceeds the cluster count (the
+// caller skips empty shards). k <= 1 puts every cluster in shard 0.
+func (t *Topology) PartitionClusters(k int) []int {
+	assign := make([]int, len(t.Clusters))
+	if k <= 1 || len(t.Clusters) <= 1 {
+		return assign
+	}
+	if k > len(t.Clusters) {
+		k = len(t.Clusters)
+	}
+	ids := make([]ClusterID, len(t.Clusters))
+	for i := range ids {
+		ids[i] = ClusterID(i)
+	}
+	t.bisect(ids, k, 0, assign)
+	return assign
+}
+
+// bisect recursively splits ids into k shards, writing shard indices
+// starting at base into assign.
+func (t *Topology) bisect(ids []ClusterID, k, base int, assign []int) {
+	if k <= 1 || len(ids) <= 1 {
+		for _, id := range ids {
+			assign[id] = base
+		}
+		return
+	}
+	// Pick the wider axis of the region's bounding box. Longitude extent
+	// is compared in raw degrees — for regional edge-cloud footprints
+	// (a few degrees across, mid latitudes) the distortion is benign and
+	// keeping it projection-free keeps the split deterministic.
+	minLat, maxLat := t.Cluster(ids[0]).Lat, t.Cluster(ids[0]).Lat
+	minLon, maxLon := t.Cluster(ids[0]).Lon, t.Cluster(ids[0]).Lon
+	for _, id := range ids[1:] {
+		c := t.Cluster(id)
+		if c.Lat < minLat {
+			minLat = c.Lat
+		}
+		if c.Lat > maxLat {
+			maxLat = c.Lat
+		}
+		if c.Lon < minLon {
+			minLon = c.Lon
+		}
+		if c.Lon > maxLon {
+			maxLon = c.Lon
+		}
+	}
+	byLat := maxLat-minLat >= maxLon-minLon
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := t.Cluster(ids[i]), t.Cluster(ids[j])
+		var ka, kb float64
+		if byLat {
+			ka, kb = a.Lat, b.Lat
+		} else {
+			ka, kb = a.Lon, b.Lon
+		}
+		if ka != kb {
+			return ka < kb
+		}
+		return ids[i] < ids[j] // deterministic tie-break
+	})
+	// Split the shard budget (floor/ceil halves) and find the cut point
+	// that divides the worker-count weight in the same proportion.
+	kLeft := k / 2
+	kRight := k - kLeft
+	total := int64(0)
+	for _, id := range ids {
+		total += int64(len(t.Cluster(id).Workers))
+	}
+	target := total * int64(kLeft) / int64(k)
+	cut, acc := 0, int64(0)
+	for cut < len(ids)-1 {
+		w := int64(len(t.Cluster(ids[cut]).Workers))
+		// Stop when adding the next cluster overshoots the target more
+		// than stopping short undershoots it.
+		if acc+w > target && acc+w-target > target-acc {
+			break
+		}
+		acc += w
+		cut++
+	}
+	if cut == 0 {
+		cut = 1 // both halves must be non-empty
+	}
+	t.bisect(ids[:cut], kLeft, base, assign)
+	t.bisect(ids[cut:], kRight, base+kLeft, assign)
+}

@@ -1,0 +1,149 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/res"
+)
+
+func partitionCounts(assign []int, k int) []int {
+	counts := make([]int, k)
+	for _, s := range assign {
+		counts[s]++
+	}
+	return counts
+}
+
+func TestPartitionSingleShard(t *testing.T) {
+	tp := Generate(DefaultGenConfig(20), rand.New(rand.NewSource(1)))
+	for _, k := range []int{0, 1} {
+		for _, s := range tp.PartitionClusters(k) {
+			if s != 0 {
+				t.Fatalf("k=%d: cluster assigned to shard %d, want 0", k, s)
+			}
+		}
+	}
+}
+
+func TestPartitionCoversAllShardsAndClusters(t *testing.T) {
+	tp := Generate(DefaultGenConfig(64), rand.New(rand.NewSource(7)))
+	for _, k := range []int{2, 3, 4, 8, 16} {
+		assign := tp.PartitionClusters(k)
+		if len(assign) != len(tp.Clusters) {
+			t.Fatalf("k=%d: assignment covers %d clusters, want %d", k, len(assign), len(tp.Clusters))
+		}
+		for cid, s := range assign {
+			if s < 0 || s >= k {
+				t.Fatalf("k=%d: cluster %d in shard %d, out of range [0,%d)", k, cid, s, k)
+			}
+		}
+		// With 64 spread-out clusters every shard should be populated.
+		for s, n := range partitionCounts(assign, k) {
+			if n == 0 {
+				t.Fatalf("k=%d: shard %d empty with %d clusters", k, s, len(tp.Clusters))
+			}
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	tp := Generate(DefaultGenConfig(100), rand.New(rand.NewSource(3)))
+	a := tp.PartitionClusters(8)
+	b := tp.PartitionClusters(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cluster %d: shard %d then %d across identical calls", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPartitionBalancesWorkerWeight(t *testing.T) {
+	tp := Generate(DefaultGenConfig(200), rand.New(rand.NewSource(11)))
+	const k = 4
+	assign := tp.PartitionClusters(k)
+	weights := make([]int, k)
+	total := 0
+	for cid, s := range assign {
+		w := len(tp.Cluster(ClusterID(cid)).Workers)
+		weights[s] += w
+		total += w
+	}
+	// Weighted bisection should keep every shard within 2x of the even
+	// share (clusters are indivisible, so perfect balance is impossible).
+	even := total / k
+	for s, w := range weights {
+		if w < even/2 || w > even*2 {
+			t.Fatalf("shard %d holds %d workers, even share is %d", s, w, even)
+		}
+	}
+}
+
+func TestPartitionGeographicCoherence(t *testing.T) {
+	// Two well-separated groups of clusters must not be mixed: with k=2
+	// the partition should fall on the geographic gap.
+	b := NewBuilder()
+	caps := []res.Vector{res.V(4000, 8192, 500)}
+	for i := 0; i < 4; i++ {
+		b.AddCluster(30+float64(i)*0.1, 110, res.V(8000, 16384, 1000), caps)
+	}
+	for i := 0; i < 4; i++ {
+		b.AddCluster(30+float64(i)*0.1, 125, res.V(8000, 16384, 1000), caps)
+	}
+	tp := b.Build()
+	assign := tp.PartitionClusters(2)
+	for i := 1; i < 4; i++ {
+		if assign[i] != assign[0] {
+			t.Fatalf("west group split: cluster %d in shard %d, cluster 0 in %d", i, assign[i], assign[0])
+		}
+		if assign[4+i] != assign[4] {
+			t.Fatalf("east group split: cluster %d in shard %d, cluster 4 in %d", 4+i, assign[4+i], assign[4])
+		}
+	}
+	if assign[0] == assign[4] {
+		t.Fatal("west and east groups share a shard")
+	}
+}
+
+func TestPartitionMoreShardsThanClusters(t *testing.T) {
+	b := NewBuilder()
+	caps := []res.Vector{res.V(4000, 8192, 500)}
+	for i := 0; i < 3; i++ {
+		b.AddCluster(30+float64(i), 110, res.V(8000, 16384, 1000), caps)
+	}
+	tp := b.Build()
+	// k=8 with 3 clusters: indices stay within [0,8), some shards are
+	// simply empty — the scheduler skips them.
+	assign := tp.PartitionClusters(8)
+	seen := map[int]bool{}
+	for cid, s := range assign {
+		if s < 0 || s >= 8 {
+			t.Fatalf("cluster %d in shard %d, out of range", cid, s)
+		}
+		if seen[s] {
+			t.Fatalf("two of three clusters share shard %d with 8 shards requested", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestPartitionCoLocatedClustersDeterministicTieBreak(t *testing.T) {
+	// All clusters at the same point: splits degenerate to ClusterID
+	// order, which must still be deterministic and in-range.
+	b := NewBuilder()
+	caps := []res.Vector{res.V(4000, 8192, 500)}
+	for i := 0; i < 6; i++ {
+		b.AddCluster(30, 110, res.V(8000, 16384, 1000), caps)
+	}
+	tp := b.Build()
+	a := tp.PartitionClusters(3)
+	c := tp.PartitionClusters(3)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("co-located tie-break unstable at cluster %d: %d vs %d", i, a[i], c[i])
+		}
+		if a[i] < 0 || a[i] >= 3 {
+			t.Fatalf("cluster %d in shard %d, out of range", i, a[i])
+		}
+	}
+}

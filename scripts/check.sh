@@ -19,6 +19,12 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== go test -race (sharded scheduler fail-fast) =="
+# Same packages as `make race-shard`: the concurrent shard solves are
+# the likeliest place for a fresh data race, so surface one in seconds
+# instead of at the end of the full -race pass below.
+go test -race ./internal/shard ./internal/dsslc ./internal/flow ./internal/topo
+
 echo "== go test -race =="
 go test -race -timeout 120m ./...
 
