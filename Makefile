@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench check fmt vet clean trace-smoke verify replay-smoke fuzz-smoke perf bench-smoke telemetry-smoke race-telemetry race-shard
+.PHONY: all build test race bench check fmt vet clean trace-smoke verify replay-smoke fuzz-smoke perf bench-smoke telemetry-smoke race-telemetry race-shard chaos-smoke race-chaos
 
 all: check
 
@@ -46,11 +46,13 @@ verify: vet race replay-smoke
 replay-smoke:
 	sh scripts/replay_smoke.sh
 
-# 10-second fuzz budget over the native fuzz targets (5 s each): the
-# MCNF differential oracle and the trace CSV round-trip.
+# 15-second fuzz budget over the native fuzz targets (5 s each): the
+# MCNF differential oracle, the trace CSV round-trip, and the chaos
+# survival oracle under fuzzer-chosen fault programs.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzMinCostFlow -fuzztime 5s ./internal/flow
 	$(GO) test -run xxx -fuzz FuzzTraceCSV -fuzztime 5s ./internal/trace
+	$(GO) test -run xxx -fuzz FuzzChaosProgram -fuzztime 5s ./internal/check
 
 # Write a BENCH_<date>.json perf snapshot (solver/engine/cgroup ns/op
 # plus per-phase breakdowns) into the repo root for the perf trajectory
@@ -79,6 +81,18 @@ race-telemetry:
 # the partitioner). `make race` covers everything but takes far longer.
 race-shard:
 	$(GO) test -race ./internal/shard ./internal/dsslc ./internal/flow ./internal/topo
+
+# Chaos-replay smoke: the fault-injection run must pass the survival
+# oracle and reproduce byte-identical digests across reruns (CLI half);
+# the in-process half pins the golden fault schedules.
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
+
+# Fast race pass over the fault-injection path: the chaos package, the
+# engine's failure/migration handling, and the check oracles (short
+# sweep). `make race` covers everything but takes far longer.
+race-chaos:
+	$(GO) test -race -short ./internal/chaos ./internal/engine ./internal/check
 
 clean:
 	$(GO) clean ./...

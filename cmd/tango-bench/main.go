@@ -43,6 +43,9 @@ func main() {
 		memprof  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		listen   = flag.String("listen", "", "serve live telemetry (/metrics /healthz /runinfo /trace/tail) on this host:port (port 0 picks one)")
 		linger   = flag.Duration("linger", 0, "keep the telemetry server up this long after the suite finishes (requires -listen)")
+		chaosOn  = flag.String("chaos", "", "arm a fault program (churn | partition | flash | all) over every run of every experiment")
+		chaosSd  = flag.Int64("chaos-seed", 0, "seed for the fault program (0 = use -seed)")
+		defragOn = flag.Bool("defrag", false, "run the periodic BE defragmentation pass in every run")
 	)
 	flag.Parse()
 
@@ -96,6 +99,8 @@ func main() {
 		{"shard-scale", func(c experiments.Config) *experiments.Result {
 			return experiments.ShardScale(c, wall)
 		}, "extension: sharded scheduler throughput at 10k+ nodes"},
+		{"chaos-migration", experiments.ChaosMigration, "extension: did migration+defrag help phi under churn"},
+		{"chaos-survival", experiments.ChaosSurvival, "extension: full fault mix with the survival oracle"},
 		{"ablation-masking", experiments.AblationMasking, "policy context filtering ablation"},
 		{"ablation-reward", experiments.AblationReward, "reward split ablation"},
 		{"ablation-preemption", experiments.AblationPreemption, "BE preemption ablation"},
@@ -114,6 +119,9 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Shards = *shards
+	cfg.Chaos = *chaosOn
+	cfg.ChaosSeed = *chaosSd
+	cfg.Defrag = *defragOn
 
 	var wsink *obs.WriterSink
 	if *traceOut != "" {

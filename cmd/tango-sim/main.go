@@ -8,6 +8,7 @@
 //	tango-sim -virtual 100 -duration 30s        # dual-space scale
 //	tango-sim -system k8s -series               # print the period series
 //	tango-sim -trace out.ndjson -report r.json  # export events + run report
+//	tango-sim -chaos churn -defrag -verify      # fault injection + defrag
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"repro/cmd/internal/profcli"
 	"repro/internal/baselines"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -30,7 +32,7 @@ import (
 func main() {
 	var (
 		system   = flag.String("system", "tango", "system to run: tango | k8s | ceres | dsaco")
-		pattern  = flag.String("pattern", "P3", "workload pattern: P1 | P2 | P3 | diurnal")
+		pattern  = flag.String("pattern", "P3", "workload pattern: P1 | P2 | P3 | diurnal | wavy | normal")
 		duration = flag.Duration("duration", 20*time.Second, "workload duration (virtual time)")
 		drain    = flag.Duration("drain", 8*time.Second, "extra virtual time to drain in-flight work")
 		virtual  = flag.Int("virtual", 0, "additional virtual clusters beyond the 4 physical ones")
@@ -50,6 +52,9 @@ func main() {
 		listen   = flag.String("listen", "", "serve live telemetry (/metrics /healthz /runinfo /trace/tail) on this host:port (port 0 picks one)")
 		linger   = flag.Duration("linger", 0, "keep the telemetry server up this long after the run finishes (requires -listen)")
 		spanRate = flag.Float64("span-sample", 0, "deterministic head-based span sampling rate in (0,1]; 0 or 1 = record every span")
+		chaosOn  = flag.String("chaos", "", "inject a seed-randomized fault program: churn | partition | flash | all")
+		chaosSd  = flag.Int64("chaos-seed", 0, "seed for the fault program (0 = use -seed)")
+		defragOn = flag.Bool("defrag", false, "run the periodic BE defragmentation pass")
 	)
 	flag.Parse()
 
@@ -83,6 +88,10 @@ func main() {
 		pat = trace.P3
 	case "diurnal":
 		pat = trace.Diurnal
+	case "wavy":
+		pat = trace.Wavy
+	case "normal":
+		pat = trace.Normal
 	default:
 		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
 		os.Exit(2)
@@ -149,6 +158,23 @@ func main() {
 		opts.LCShards = *shards
 	}
 	opts.Verify = *verify
+	var prog chaos.Program
+	if *chaosOn != "" {
+		cs := *chaosSd
+		if cs == 0 {
+			cs = *seed
+		}
+		var err error
+		prog, err = chaos.Preset(*chaosOn, tp, *duration, cs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.Chaos = &prog
+	}
+	if *defragOn {
+		opts.Defrag = &chaos.DefragConfig{}
+	}
 	var prof *perf.Profiler
 	if *perfOn {
 		prof = perf.New()
@@ -251,6 +277,25 @@ func main() {
 	tb.AddRowF("virtual time simulated", *duration+*drain)
 	tb.AddRowF("wall time", elapsed.Round(time.Millisecond))
 	fmt.Println(tb.String())
+
+	if sys.Chaos != nil || sys.Defrag != nil {
+		ct := metrics.NewTable("chaos", "metric", "value")
+		if inj := sys.Chaos; inj != nil {
+			p := inj.Program()
+			ct.AddRowF("fault program", p.Name)
+			ct.AddRowF("program digest", p.Digest()[:16])
+			ct.AddRowF("faults applied / cleared", fmt.Sprintf("%d / %d", inj.Applied, inj.Cleared))
+			ct.AddRowF("flash-crowd requests injected", inj.Injected)
+			sys.SLO.Finalize()
+			attr, total := inj.AttributedEpisodes(sys.SLO)
+			ct.AddRowF("SLO episodes in fault windows", fmt.Sprintf("%d / %d", attr, total))
+		}
+		ct.AddRowF("live migrations", sys.Engine.Migrations)
+		if df := sys.Defrag; df != nil {
+			ct.AddRowF("defrag passes / moves", fmt.Sprintf("%d / %d", df.Passes, df.Moves))
+		}
+		fmt.Println(ct.String())
+	}
 
 	if prof != nil {
 		pt := metrics.NewTable("perf phases (host wall clock)",

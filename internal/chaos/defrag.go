@@ -1,0 +1,153 @@
+package chaos
+
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/topo"
+)
+
+// DefragConfig tunes the periodic defragmentation pass. Zero values
+// take the defaults below.
+type DefragConfig struct {
+	// Every is the pass period (default 800ms).
+	Every time.Duration
+	// MaxMoves caps migrations per pass (default 4) so a pass never
+	// floods the WAN with checkpoints.
+	MaxMoves int
+	// HotUtil marks donors: nodes at or above this dominant-share
+	// utilization shed their newest BE work (default 0.75).
+	HotUtil float64
+	// ColdUtil marks receivers: only nodes below this utilization accept
+	// migrated work (default 0.60), keeping the pass monotone — a
+	// receiver can never become a donor within the same pass.
+	ColdUtil float64
+}
+
+func (c DefragConfig) withDefaults() DefragConfig {
+	if c.Every <= 0 {
+		c.Every = 800 * time.Millisecond
+	}
+	if c.MaxMoves <= 0 {
+		c.MaxMoves = 4
+	}
+	if c.HotUtil <= 0 {
+		c.HotUtil = 0.75
+	}
+	if c.ColdUtil <= 0 {
+		c.ColdUtil = 0.60
+	}
+	return c
+}
+
+// Defragmenter periodically batch-migrates BE pods off pressured nodes
+// onto cold reachable ones (KubeDSM-style descheduling, built on
+// engine.Migrate so every move replays deterministically).
+type Defragmenter struct {
+	cfg DefragConfig
+	eng *engine.Engine
+	tp  *topo.Topology
+	tr  *obs.Tracer
+
+	// nodes is cached in topology order at construction; Score and Run
+	// iterate it without allocating.
+	nodes []*engine.Node
+
+	// Counters feeding the tango_defrag_* gauges.
+	Passes int64
+	Moves  int64
+}
+
+// NewDefragmenter builds a defragmenter over the engine's workers.
+func NewDefragmenter(e *engine.Engine, cfg DefragConfig) *Defragmenter {
+	return &Defragmenter{
+		cfg:   cfg.withDefaults(),
+		eng:   e,
+		tp:    e.Topology(),
+		tr:    e.Tracer(),
+		nodes: e.Nodes(),
+	}
+}
+
+// Config returns the effective (default-filled) configuration.
+func (d *Defragmenter) Config() DefragConfig { return d.cfg }
+
+// Period returns the pass period.
+func (d *Defragmenter) Period() time.Duration { return d.cfg.Every }
+
+// hot reports whether a node is a donor candidate.
+func (d *Defragmenter) hot(n *engine.Node) bool {
+	return !n.Down() && n.Utilization() >= d.cfg.HotUtil && n.RunningBECount() > 0
+}
+
+// Score counts donor candidates — hot nodes with migratable BE work.
+// A compact fleet scores 0 and Run becomes a no-op. The scan is
+// allocation-free (BenchmarkDefragScore pins this down): it is the part
+// of the pass that runs even when nothing is wrong.
+func (d *Defragmenter) Score() int {
+	hot := 0
+	for _, n := range d.nodes {
+		if d.hot(n) {
+			hot++
+		}
+	}
+	return hot
+}
+
+// Run performs one defragmentation pass: greedily migrate the newest
+// BE request of each hot donor to the coldest reachable receiver that
+// fits it, up to MaxMoves. Returns the number of migrations started.
+func (d *Defragmenter) Run() int {
+	d.Passes++
+	if d.Score() == 0 {
+		return 0
+	}
+	moves := 0
+	donors := int64(0)
+	for _, src := range d.nodes {
+		if moves >= d.cfg.MaxMoves {
+			break
+		}
+		if !d.hot(src) {
+			continue
+		}
+		donors++
+		id, typ, ok := src.NewestBE()
+		if !ok {
+			continue
+		}
+		var best *engine.Node
+		for _, dst := range d.nodes {
+			if dst == src || dst.Down() {
+				continue
+			}
+			if dst.Utilization() >= d.cfg.ColdUtil {
+				continue
+			}
+			if !d.tp.Reachable(src.Cluster, dst.Cluster) {
+				continue
+			}
+			if !dst.Free().Sub(dst.InTransit()).Fits(dst.EffectiveDemand(typ)) {
+				continue
+			}
+			if best == nil || dst.Utilization() < best.Utilization() {
+				best = dst
+			}
+		}
+		if best == nil {
+			continue
+		}
+		if !d.eng.Migrate(src.ID, best.ID, id) {
+			// A refusal here means the fleet changed under us (e.g. the
+			// request finished this tick); stop rather than thrash.
+			break
+		}
+		moves++
+	}
+	d.Moves += int64(moves)
+	if moves > 0 && d.tr.Enabled() {
+		d.tr.Emit(obs.Ev(obs.EvDefrag).Val(float64(moves)).Au(donors))
+	}
+	return moves
+}

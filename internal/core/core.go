@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/check"
 	"repro/internal/dcgbe"
 	"repro/internal/dsslc"
@@ -124,6 +125,26 @@ type Options struct {
 	// solve. Violations are recorded, not fatal; read System.Verifier.
 	Verify bool
 
+	// OnOutcome, when non-nil, receives every request outcome after the
+	// built-in observers. The chaos differential oracle uses it to prove
+	// request conservation (exactly one outcome per accepted request).
+	OnOutcome func(o engine.Outcome)
+
+	// Chaos, when non-nil, arms the fault-injection program at Start:
+	// every fault (and windowed clear) becomes an ordinary sim event, so
+	// a chaos run replays byte-identically under the same scenario and
+	// seed. Nil keeps the system exactly digest-identical to a build
+	// without the chaos subsystem.
+	Chaos *chaos.Program
+	// ChaosGen overrides the flash-crowd burst template (catalog plus
+	// base LC/BE rates the fault Factor scales). Nil uses 60 LC / 25 BE
+	// requests per second over the default catalog.
+	ChaosGen *trace.GenConfig
+	// Defrag, when non-nil, runs a periodic defragmentation pass that
+	// live-migrates the newest BE work off hot nodes onto cold reachable
+	// ones (see chaos.DefragConfig for the thresholds).
+	Defrag *chaos.DefragConfig
+
 	// Profiler, when non-nil, enables phase profiling: the DSS-LC solve
 	// stages, the dispatcher rounds, admission checks and the collector
 	// tick are timed (wall clock and allocation deltas), the collector
@@ -175,6 +196,17 @@ type System struct {
 	// Verifier is non-nil when Options.Verify was set; it accumulates
 	// invariant violations observed during the run.
 	Verifier *check.Verifier
+	// Chaos is non-nil when Options.Chaos was set.
+	Chaos *chaos.Injector
+	// Defrag is non-nil when Options.Defrag was set.
+	Defrag *chaos.Defragmenter
+
+	// masterStall / collStall hold the virtual times until which a
+	// cluster's LC dispatch / the metrics collector are paused. The map
+	// stays nil on chaos-free runs, keeping the hot dispatch path
+	// untouched.
+	masterStall map[topo.ClusterID]time.Duration
+	collStall   time.Duration
 
 	periodics []*sim.Event
 }
@@ -275,6 +307,9 @@ func New(o Options) *System {
 	if obs, ok := s.beSched.(OutcomeObserver); ok {
 		s.observers = append(s.observers, obs.NotifyOutcome)
 	}
+	if o.OnOutcome != nil {
+		s.observers = append(s.observers, o.OnOutcome)
+	}
 	// The DCG-BE state includes the current slack score δ_k (§5.3.1);
 	// feed it from the re-assurer's windows when both are present.
 	if be, ok := s.beSched.(*dcgbe.Scheduler); ok && s.reassurer != nil {
@@ -285,6 +320,31 @@ func New(o Options) *System {
 	s.storage = state.New(s.Engine)
 	if s.reassurer != nil {
 		s.storage.SlackFn = s.nodeSlack
+	}
+	if o.Chaos != nil {
+		gen := trace.GenConfig{Catalog: o.Catalog, LCRatePerSec: 60, BERatePerSec: 25}
+		if o.ChaosGen != nil {
+			gen = *o.ChaosGen
+		}
+		s.masterStall = map[topo.ClusterID]time.Duration{}
+		s.Chaos = chaos.NewInjector(*o.Chaos, chaos.InjectorConfig{
+			Sim: s.Sim, Engine: s.Engine, Topo: s.Topo, Tracer: s.Tracer,
+			Gen:            gen,
+			Inject:         s.Inject,
+			StallMaster:    func(c topo.ClusterID, until time.Duration) { s.masterStall[c] = until },
+			StallCollector: func(until time.Duration) { s.collStall = until },
+			OnRevive: func() {
+				// The differential oracle demands green self-checks after
+				// every revive, not only at period boundaries.
+				if s.Verifier != nil {
+					s.Verifier.SweepEngine(s.Engine)
+					s.Verifier.SweepSLO(s.SLO)
+				}
+			},
+		})
+	}
+	if o.Defrag != nil {
+		s.Defrag = chaos.NewDefragmenter(s.Engine, *o.Defrag)
 	}
 	s.Metrics.Bind(s)
 	return s
@@ -339,11 +399,14 @@ func (s *System) onOutcome(o engine.Outcome) {
 	}
 }
 
-// Inject schedules the arrival of trace requests.
+// Inject schedules the arrival of trace requests. Arrival times are
+// absolute virtual times: injecting before Run places the whole trace
+// as usual, while a mid-run injection (chaos flash crowds) lands each
+// burst request at its stamped arrival rather than re-offsetting it.
 func (s *System) Inject(reqs []trace.Request) {
 	for _, r := range reqs {
 		r := r
-		s.Sim.Schedule(r.Arrival, func() { s.accept(r) })
+		s.Sim.ScheduleAt(r.Arrival, func() { s.accept(r) })
 	}
 }
 
@@ -373,8 +436,14 @@ func (s *System) accept(tr trace.Request) {
 // re-assurer.
 func (s *System) Start() {
 	s.periodics = append(s.periodics, s.Sim.Every(s.opts.DispatchEvery, s.dispatch))
-	s.periodics = append(s.periodics, s.Sim.Every(s.opts.Period, s.Metrics.tick))
+	s.periodics = append(s.periodics, s.Sim.Every(s.opts.Period, s.collectorTick))
 	s.periodics = append(s.periodics, s.storage.Start(s.Sim))
+	if s.Chaos != nil {
+		s.Chaos.Arm()
+	}
+	if s.Defrag != nil {
+		s.periodics = append(s.periodics, s.Sim.Every(s.Defrag.Period(), func() { s.Defrag.Run() }))
+	}
 	if s.booster != nil {
 		s.periodics = append(s.periodics, s.booster.Start(s.Sim))
 	}
@@ -397,6 +466,16 @@ func (s *System) Stop() {
 	s.periodics = nil
 }
 
+// collectorTick runs one collection period unless a chaos collector
+// stall covers this instant (stalled periods are skipped, not
+// deferred). Chaos-free runs always fall straight through.
+func (s *System) collectorTick() {
+	if s.Sim.Now() < s.collStall {
+		return
+	}
+	s.Metrics.tick()
+}
+
 // Run executes the whole experiment: Start, run the clock until
 // `until`, then Stop and let in-flight work complete.
 func (s *System) Run(until time.Duration) {
@@ -404,6 +483,28 @@ func (s *System) Run(until time.Duration) {
 	s.Sim.RunUntil(until)
 	s.Stop()
 	s.Sim.Run() // drain in-flight completions
+	s.flushLeftovers()
+}
+
+// flushLeftovers resolves requests still sitting in scheduling queues
+// after the drain — work re-queued by a failure so late that no
+// dispatch round remained to place it. Without this, such requests
+// would silently vanish: accepted (arrival counted) but never resolved
+// to an outcome, which the chaos conservation oracle flags. They
+// resolve as failed outcomes in ID order, deterministically.
+func (s *System) flushLeftovers() {
+	var leftovers []*engine.Request
+	for _, c := range s.Topo.Clusters {
+		leftovers = append(leftovers, s.lcQueues[c.ID]...)
+		s.lcQueues[c.ID] = nil
+	}
+	leftovers = append(leftovers, s.beQueue...)
+	s.beQueue = nil
+	if len(leftovers) == 0 {
+		return
+	}
+	sort.Slice(leftovers, func(i, j int) bool { return leftovers[i].ID < leftovers[j].ID })
+	s.Engine.DisplaceFailed(leftovers)
 }
 
 // dispatch is one dispatcher round over all LC queues and the BE queue.
@@ -419,7 +520,7 @@ func (s *System) dispatch() {
 	// LC: each master dispatches its own queue (distributed decisions).
 	for _, c := range s.Topo.Clusters {
 		q := s.lcQueues[c.ID]
-		if len(q) == 0 {
+		if len(q) == 0 || s.masterStalled(c.ID) {
 			continue
 		}
 		s.lcQueues[c.ID] = nil
@@ -476,7 +577,7 @@ func (s *System) dispatchSharded(sh *shard.Scheduler) {
 	s.shardBatches = s.shardBatches[:0]
 	for _, c := range s.Topo.Clusters {
 		q := s.lcQueues[c.ID]
-		if len(q) == 0 {
+		if len(q) == 0 || s.masterStalled(c.ID) {
 			continue
 		}
 		s.lcQueues[c.ID] = nil
@@ -527,6 +628,15 @@ func (s *System) requeueLC(c topo.ClusterID, r *engine.Request) {
 	s.lcQueues[c] = append(s.lcQueues[c], r)
 }
 
+// masterStalled reports whether a chaos master stall currently covers
+// cluster c. Always false on chaos-free runs (nil map).
+func (s *System) masterStalled(c topo.ClusterID) bool {
+	if s.masterStall == nil {
+		return false
+	}
+	return s.Sim.Now() < s.masterStall[c]
+}
+
 // redispatch returns requests displaced by a node failure to their
 // arrival master's scheduling queue (LC) or the central BE queue. The
 // masters learn of the failure through the state storage, so the next
@@ -550,6 +660,16 @@ func (s *System) FailNode(id topo.NodeID, at time.Duration) {
 // RecoverNode schedules the worker's recovery.
 func (s *System) RecoverNode(id topo.NodeID, at time.Duration) {
 	s.Sim.ScheduleAt(at, func() { s.Engine.Node(id).Recover() })
+}
+
+// FailCluster schedules every worker of a cluster to fail at `at`.
+func (s *System) FailCluster(c topo.ClusterID, at time.Duration) {
+	s.Sim.ScheduleAt(at, func() { s.Engine.FailCluster(c) })
+}
+
+// RecoverCluster schedules the cluster's workers to recover at `at`.
+func (s *System) RecoverCluster(c topo.ClusterID, at time.Duration) {
+	s.Sim.ScheduleAt(at, func() { s.Engine.RecoverCluster(c) })
 }
 
 // Collector aggregates the paper's measurements into period series.
@@ -583,6 +703,7 @@ type Collector struct {
 	nodeGauges     []nodeGauges
 	phiGauges      map[int]phiGauges
 	solverGauges   *solverGauges
+	chaosG         *chaosGauges
 	shardGauges    []shardGauges
 	overflowGauge  *obs.Gauge
 	gatherBuf      []obs.Sample // reused across scrapes (zero-alloc Gather)
@@ -611,6 +732,21 @@ type Collector struct {
 type phiGauges struct {
 	phi     *obs.Gauge
 	rolling *obs.Gauge
+}
+
+// chaosGauges caches the chaos/migration gauges. They exist only when
+// the run has a chaos program or defragmenter, so chaos-free reports
+// keep their metric set — and their digests — unchanged.
+type chaosGauges struct {
+	applied  *obs.Gauge
+	cleared  *obs.Gauge
+	active   *obs.Gauge
+	injected *obs.Gauge
+	// migrations counts engine live migrations (injector- or
+	// defrag-driven).
+	migrations   *obs.Gauge
+	defragPasses *obs.Gauge
+	defragMoves  *obs.Gauge
 }
 
 // solverGauges caches the DSS-LC solver health gauges (warm-start hit
@@ -778,8 +914,45 @@ func (c *Collector) tick() {
 	c.updateNodeGauges()
 	c.updateSLOGauges()
 	c.updateSolverGauges()
+	c.updateChaosGauges()
 	c.sampleRuntime()
 	c.scrape()
+}
+
+// updateChaosGauges refreshes the tango_chaos_* / migration gauges.
+// No-op unless the run has a chaos program or a defragmenter.
+func (c *Collector) updateChaosGauges() {
+	inj, df := c.sys.Chaos, c.sys.Defrag
+	if inj == nil && df == nil {
+		return
+	}
+	if c.chaosG == nil {
+		g := &chaosGauges{
+			migrations: c.registry.Gauge("tango_migrations_total", obs.Labels{}),
+		}
+		if inj != nil {
+			g.applied = c.registry.Gauge("tango_chaos_faults_total", obs.Labels{})
+			g.cleared = c.registry.Gauge("tango_chaos_cleared_total", obs.Labels{})
+			g.active = c.registry.Gauge("tango_chaos_active", obs.Labels{})
+			g.injected = c.registry.Gauge("tango_chaos_injected_total", obs.Labels{})
+		}
+		if df != nil {
+			g.defragPasses = c.registry.Gauge("tango_defrag_passes_total", obs.Labels{})
+			g.defragMoves = c.registry.Gauge("tango_defrag_moves_total", obs.Labels{})
+		}
+		c.chaosG = g
+	}
+	c.chaosG.migrations.Set(float64(c.sys.Engine.Migrations))
+	if inj != nil {
+		c.chaosG.applied.Set(float64(inj.Applied))
+		c.chaosG.cleared.Set(float64(inj.Cleared))
+		c.chaosG.active.Set(float64(inj.Active))
+		c.chaosG.injected.Set(float64(inj.Injected))
+	}
+	if df != nil {
+		c.chaosG.defragPasses.Set(float64(df.Passes))
+		c.chaosG.defragMoves.Set(float64(df.Moves))
+	}
 }
 
 // updateSLOGauges refreshes the per-service φ gauges from the SLO
@@ -1045,7 +1218,7 @@ func (s *System) ConfigMap(name string) map[string]string {
 	if sh, ok := s.lcSched.(*shard.Scheduler); ok {
 		lcShards = sh.NumShards()
 	}
-	return map[string]string{
+	m := map[string]string{
 		"lc_shards":         fmt.Sprintf("%d", lcShards),
 		"system":            name,
 		"lc_scheduler":      s.LCSchedulerName(),
@@ -1063,6 +1236,18 @@ func (s *System) ConfigMap(name string) map[string]string {
 		"lc_abandon_factor": fmt.Sprintf("%g", o.LCAbandonFactor),
 		"geo_radius_km":     fmt.Sprintf("%g", o.GeoRadiusKm),
 	}
+	// Chaos/defrag keys exist only when enabled, so every pre-chaos
+	// config digest is preserved verbatim.
+	if s.Chaos != nil {
+		p := s.Chaos.Program()
+		m["chaos"] = p.Name
+		m["chaos_digest"] = p.Digest()
+	}
+	if s.Defrag != nil {
+		cfg := s.Defrag.Config()
+		m["defrag"] = fmt.Sprintf("%s/%d moves", cfg.Every, cfg.MaxMoves)
+	}
+	return m
 }
 
 // Report builds the run-report document from the same collectors that

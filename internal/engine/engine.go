@@ -49,6 +49,10 @@ type Request struct {
 	// covers [mark, now] and advances mark, so the children exactly tile
 	// [Arrival, completion].
 	mark time.Duration
+	// carryWork is the checkpointed remaining work of a live-migrated
+	// request (millicore-ms); the next start resumes from it instead of
+	// the full SType.Work. Zero means no checkpoint (fresh start).
+	carryWork float64
 }
 
 // Outcome reports the fate of a request.
@@ -139,6 +143,8 @@ type Engine struct {
 	// counters
 	Completed int64
 	Abandoned int64
+	// Migrations counts live migrations started (tango_migrations_total).
+	Migrations int64
 }
 
 // New builds the engine with one runtime per worker node.
@@ -381,10 +387,17 @@ func (n *Node) start(r *Request, alloc res.Vector) {
 	n.seq++
 	n.ScaleOps++
 	now := n.eng.cfg.Sim.Now()
+	work := float64(r.SType.Work)
+	if r.carryWork > 0 {
+		// A live-migrated request resumes from its checkpoint; contrast
+		// with EvictBE's restart-from-scratch semantics.
+		work = r.carryWork
+		r.carryWork = 0
+	}
 	ru := &running{
 		req:        r,
 		alloc:      alloc,
-		workLeft:   float64(r.SType.Work),
+		workLeft:   work,
 		lastUpdate: now,
 		seq:        n.seq,
 	}

@@ -126,6 +126,108 @@ func TestDisplacedRequestTracksRestart(t *testing.T) {
 	}
 }
 
+// Regression: requests in flight to a cluster killed in the same tick
+// must be re-queued through OnDisplaced on arrival — exactly once, no
+// silent drops, no duplicate outcomes.
+func TestClusterKillRequeuesInFlight(t *testing.T) {
+	var displaced []*Request
+	s, e := failEnv(func(rs []*Request) { displaced = append(displaced, rs...) },
+		func(o Outcome) { t.Fatalf("unexpected outcome %+v: re-queue handler is set", o) })
+	// Both requests are still in transit when the whole cluster dies.
+	e.Dispatch(e.NewRequest(trace.Request{ID: 1, Type: 1, Class: trace.LC, Cluster: 0}), 1)
+	e.Dispatch(e.NewRequest(trace.Request{ID: 2, Type: 6, Class: trace.BE, Cluster: 0}), 2)
+	if n := e.FailCluster(0); n != 2 {
+		t.Fatalf("FailCluster took down %d workers, want 2", n)
+	}
+	if len(displaced) != 0 {
+		t.Fatalf("in-transit requests displaced before arrival: %d", len(displaced))
+	}
+	s.Run()
+	if len(displaced) != 2 {
+		t.Fatalf("displaced %d requests, want 2 (silent drop?)", len(displaced))
+	}
+	seen := map[int64]int{}
+	for _, r := range displaced {
+		seen[r.ID]++
+	}
+	if seen[1] != 1 || seen[2] != 1 {
+		t.Fatalf("displacement counts per ID = %v, want exactly one each", seen)
+	}
+	if e.Completed != 0 {
+		t.Fatalf("completed = %d on a dead cluster", e.Completed)
+	}
+	if err := e.SelfCheck(); err != nil {
+		t.Fatalf("self-check after cluster kill: %v", err)
+	}
+}
+
+// Same scenario without a displacement handler: the in-flight requests
+// must resolve as failed outcomes (abandoned for LC), never vanish.
+func TestClusterKillInFlightWithoutHandler(t *testing.T) {
+	var outs []Outcome
+	s, e := failEnv(nil, func(o Outcome) { outs = append(outs, o) })
+	e.Dispatch(e.NewRequest(trace.Request{ID: 1, Type: 1, Class: trace.LC, Cluster: 0}), 1)
+	e.Dispatch(e.NewRequest(trace.Request{ID: 2, Type: 6, Class: trace.BE, Cluster: 0}), 2)
+	e.FailCluster(0)
+	s.Run()
+	if len(outs) != 2 {
+		t.Fatalf("outcomes = %d, want 2 (in-flight work lost)", len(outs))
+	}
+	for _, o := range outs {
+		if o.Completed || o.Satisfied {
+			t.Fatalf("outcome %+v should be failed", o)
+		}
+	}
+	if e.Abandoned != 1 {
+		t.Fatalf("abandoned = %d, want 1 (the LC request)", e.Abandoned)
+	}
+}
+
+func TestFailRecoverClusterRoundTrip(t *testing.T) {
+	s, e := failEnv(func(rs []*Request) {}, nil)
+	e.DispatchLocal(e.NewRequest(trace.Request{ID: 1, Type: 6, Class: trace.BE, Cluster: 0}), 1)
+	if n := e.FailCluster(0); n != 2 {
+		t.Fatalf("FailCluster = %d, want 2", n)
+	}
+	if n := e.FailCluster(0); n != 0 {
+		t.Fatalf("second FailCluster = %d, want 0 (idempotent)", n)
+	}
+	if n := e.RecoverCluster(0); n != 2 {
+		t.Fatalf("RecoverCluster = %d, want 2", n)
+	}
+	e.DispatchLocal(e.NewRequest(trace.Request{ID: 2, Type: 6, Class: trace.BE, Cluster: 0}), 1)
+	s.Run()
+	if e.Completed != 1 {
+		t.Fatalf("completed after cluster recovery = %d, want 1", e.Completed)
+	}
+}
+
+func TestDisplaceFailedBypassesHandler(t *testing.T) {
+	var outs []Outcome
+	handlerCalls := 0
+	_, e := failEnv(func(rs []*Request) { handlerCalls++ }, func(o Outcome) { outs = append(outs, o) })
+	reqs := []*Request{
+		e.NewRequest(trace.Request{ID: 1, Type: 1, Class: trace.LC, Cluster: 0}),
+		e.NewRequest(trace.Request{ID: 2, Type: 6, Class: trace.BE, Cluster: 0}),
+	}
+	e.DisplaceFailed(reqs)
+	if handlerCalls != 0 {
+		t.Fatal("DisplaceFailed must not loop through OnDisplaced")
+	}
+	if len(outs) != 2 || outs[0].Completed || outs[1].Completed {
+		t.Fatalf("outcomes = %+v, want 2 failed", outs)
+	}
+	if e.Abandoned != 1 {
+		t.Fatalf("abandoned = %d, want 1", e.Abandoned)
+	}
+	// The handler must be back in place for ordinary failures.
+	e.DispatchLocal(e.NewRequest(trace.Request{ID: 3, Type: 6, Class: trace.BE, Cluster: 0}), 1)
+	e.Node(1).Fail()
+	if handlerCalls != 1 {
+		t.Fatalf("OnDisplaced calls after restore = %d, want 1", handlerCalls)
+	}
+}
+
 func TestDownNodeExcludedUntilRecovery(t *testing.T) {
 	s, e := failEnv(func(rs []*Request) {}, nil)
 	n1, n2 := e.Node(1), e.Node(2)

@@ -1,0 +1,175 @@
+// Live migration and cluster-scale failure mechanics (ROADMAP item 3,
+// after KubeDSM/ecmus): a running request can be checkpointed, shipped
+// to another worker over the LAN/WAN latency model, and resumed with
+// its progress intact. The defragmenter (internal/chaos) and the chaos
+// injector drive these; both are ordinary sim-event users, so every
+// migration replays deterministically.
+package engine
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/res"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// migrationStateKB models the checkpoint payload of a live migration:
+// the dirty fraction of the request's memory allocation (1/64 of the
+// resident set) plus the request payload itself. On the default link
+// model that prices an intra-cluster move of a 512 MiB BE service at
+// ~65 ms and a cross-WAN move at ~330 ms — cheap enough to pay off
+// under churn, expensive enough that defrag prefers nearby receivers.
+func migrationStateKB(alloc res.Vector, r *Request) int64 {
+	return alloc.MemoryMiB*16 + r.SType.TxKB
+}
+
+// Migrate live-migrates a running request from one worker to another.
+// The source releases its allocation immediately, the remaining work is
+// checkpointed onto the request, and after the transfer delay (half an
+// RTT plus checkpoint serialization over the link bandwidth) the
+// request arrives at the target like any dispatched request — so a
+// target that dies mid-transfer displaces it through the normal
+// failure path instead of losing it. Returns false without side
+// effects when the request is not running on `from`, either node is
+// down, the clusters are partitioned, or the request is about to
+// finish anyway.
+func (e *Engine) Migrate(from, to topo.NodeID, reqID int64) bool {
+	if from == to {
+		return false
+	}
+	src, dst := e.Node(from), e.Node(to)
+	ru, ok := src.running[reqID]
+	if !ok || src.down || dst.down {
+		return false
+	}
+	t := e.cfg.Topo
+	if !t.Reachable(src.Cluster, dst.Cluster) {
+		return false
+	}
+	src.settle(ru)
+	if ru.workLeft <= 0 {
+		return false
+	}
+	if ru.done != nil {
+		ru.done.Cancel()
+	}
+	r := ru.req
+	delete(src.running, reqID)
+	src.used = src.used.Sub(ru.alloc)
+	if r.Class == trace.LC {
+		src.usedLC = src.usedLC.Sub(ru.alloc)
+	}
+	r.carryWork = ru.workLeft
+
+	stateKB := migrationStateKB(ru.alloc, r)
+	bw := t.LinkBandwidth(from, to)
+	ser := time.Duration(float64(stateKB*8) / float64(bw) * float64(time.Millisecond))
+	delay := t.RTT(from, to)/2 + ser
+	d := dst.EffectiveDemand(r.Type)
+	dst.inTransit = dst.inTransit.Add(d)
+	e.Migrations++
+	now := e.cfg.Sim.Now()
+	if tr := e.trc; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.EvMigrate).Req(r.ID).Clu(int(src.Cluster)).Node(int(from)).
+			Service(int(r.Type)).Cls(r.Class.String()).
+			Val(float64(delay) / float64(time.Millisecond)).Au(int64(to)))
+		if r.SpanID != 0 {
+			// Close the partial execution at the source so the child spans
+			// keep tiling [Arrival, completion]; the transfer window itself
+			// becomes a "migrate" span on arrival.
+			tr.EmitSpan(obs.Sp(obs.SpanExec, r.mark, now).Child(r.SpanID).Req(r.ID).
+				Clu(int(src.Cluster)).Node(int(from)).Service(int(r.Type)).Cls(r.Class.String()))
+			r.mark = now
+		}
+	}
+	r.Target = to
+	e.cfg.Sim.Schedule(delay, func() {
+		dst.inTransit = dst.inTransit.Sub(d)
+		if tr := e.trc; tr.Enabled() && r.SpanID != 0 {
+			nw := e.cfg.Sim.Now()
+			tr.EmitSpan(obs.Sp(obs.SpanMigrate, r.mark, nw).Child(r.SpanID).Req(r.ID).
+				Clu(int(dst.Cluster)).Node(int(to)).Service(int(r.Type)).Cls(r.Class.String()))
+			r.mark = nw
+		}
+		dst.arrive(r)
+	})
+	return true
+}
+
+// FailCluster fails every live worker of a cluster in the same tick.
+// Requests already in transit to the cluster displace on arrival and
+// flow through OnDisplaced (or failed outcomes) like the killed nodes'
+// own work — never silently dropped. Returns how many workers went
+// down.
+func (e *Engine) FailCluster(c topo.ClusterID) int {
+	count := 0
+	for _, w := range e.cfg.Topo.WorkersOf(c) {
+		if n := e.Node(w); !n.down {
+			n.Fail()
+			count++
+		}
+	}
+	return count
+}
+
+// RecoverCluster revives every failed worker of a cluster. Returns how
+// many workers came back.
+func (e *Engine) RecoverCluster(c topo.ClusterID) int {
+	count := 0
+	for _, w := range e.cfg.Topo.WorkersOf(c) {
+		if n := e.Node(w); n.down {
+			n.Recover()
+			count++
+		}
+	}
+	return count
+}
+
+// DisplaceFailed resolves requests that will never be served again as
+// failed outcomes (abandonments for LC), bypassing OnDisplaced. The
+// dispatcher's end-of-run flush uses it so every accepted request
+// resolves to exactly one outcome even when a failure lands so late
+// that no dispatch round remains to re-route the re-queued work.
+func (e *Engine) DisplaceFailed(reqs []*Request) {
+	if len(reqs) == 0 {
+		return
+	}
+	saved := e.cfg.OnDisplaced
+	e.cfg.OnDisplaced = nil
+	e.displace(reqs)
+	e.cfg.OnDisplaced = saved
+}
+
+// NewestBE returns the ID and service type of the newest-admitted
+// running BE request — the defragmenter's preferred migration victim,
+// matching the newest-first order the preemption mechanics use. The
+// max-by-seq scan is allocation-free and deterministic even though map
+// iteration order is not.
+func (n *Node) NewestBE() (int64, trace.TypeID, bool) {
+	var best *running
+	for _, ru := range n.running {
+		if ru.req.Class != trace.BE {
+			continue
+		}
+		if best == nil || ru.seq > best.seq {
+			best = ru
+		}
+	}
+	if best == nil {
+		return 0, 0, false
+	}
+	return best.req.ID, best.req.Type, true
+}
+
+// RunningBECount counts running BE requests without allocating.
+func (n *Node) RunningBECount() int {
+	count := 0
+	for _, ru := range n.running {
+		if ru.req.Class == trace.BE {
+			count++
+		}
+	}
+	return count
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/cgroup"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/dcgbe"
 	"repro/internal/dsslc"
@@ -53,6 +54,15 @@ type Config struct {
 	// the default DSS-LC scheduler — baselines that install their own
 	// MakeLC are untouched.
 	Shards int
+	// Chaos, when non-empty, arms a chaos.Preset fault program of that
+	// name (churn | partition | flash | all) over every system the
+	// experiment runs; ChaosSeed seeds the fault draw (0 = Seed).
+	// Defrag adds the periodic BE defragmentation pass. Experiments
+	// that manage their own programs (ChaosMigration, ChaosSurvival)
+	// keep theirs — apply never overrides an explicit Options.Chaos.
+	Chaos     string
+	ChaosSeed int64
+	Defrag    bool
 }
 
 // apply threads the experiment-level observability settings into one
@@ -64,6 +74,20 @@ func (c Config) apply(o core.Options) core.Options {
 	}
 	if c.Shards > 0 {
 		o.LCShards = c.Shards
+	}
+	if c.Chaos != "" && o.Chaos == nil {
+		seed := c.ChaosSeed
+		if seed == 0 {
+			seed = c.Seed
+		}
+		prog, err := chaos.Preset(c.Chaos, o.Topo, c.Duration, seed)
+		if err != nil {
+			panic(err)
+		}
+		o.Chaos = &prog
+	}
+	if c.Defrag && o.Defrag == nil {
+		o.Defrag = &chaos.DefragConfig{}
 	}
 	return o
 }

@@ -1,0 +1,61 @@
+package k8s
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/topo"
+)
+
+// MigratePod live-migrates a running pod between two kubelets: graceful
+// stop at the source, checkpoint transfer over the WAN latency model
+// (half an RTT plus the dirty memory — 1/64 of the limit, the same
+// fraction the engine's request-level migration prices — over the link
+// bandwidth), then a restore-start at the destination. Returns the
+// expected end-to-end duration (stop + transfer + start); onRunning
+// fires when the pod reaches Running on the destination.
+//
+// The pod keeps its identity (UID, name) across the move — watchers see
+// Terminating/Terminated on the source node, then Pending/Creating/
+// Running on the destination, which is exactly the event sequence a
+// CRIU-style external migrator produces against a real API server.
+func MigratePod(tp *topo.Topology, src, dst *Kubelet, p *Pod, onRunning func()) (time.Duration, error) {
+	if src.node.ID == dst.node.ID {
+		return 0, fmt.Errorf("k8s: migrate %s onto its own node %d", p.Spec.Name, src.node.ID)
+	}
+	if p.Spec.Node != src.node.ID {
+		return 0, fmt.Errorf("k8s: pod %s bound to node %d, not source %d", p.Spec.Name, p.Spec.Node, src.node.ID)
+	}
+	if p.Phase != PodRunning {
+		return 0, fmt.Errorf("k8s: cannot migrate pod %s in phase %s", p.Spec.Name, p.Phase)
+	}
+	a, b := tp.Node(src.node.ID).Cluster, tp.Node(dst.node.ID).Cluster
+	if !tp.Reachable(a, b) {
+		return 0, fmt.Errorf("k8s: clusters %d and %d are partitioned", a, b)
+	}
+	if !dst.node.Free().Fits(p.Spec.Request) {
+		return 0, fmt.Errorf("k8s: node %d lacks resources for %s (free %v, need %v)",
+			dst.node.ID, p.Spec.Name, dst.node.Free(), p.Spec.Request)
+	}
+	stateKB := p.Spec.Limit.MemoryMiB * 16
+	bw := tp.LinkBandwidth(src.node.ID, dst.node.ID)
+	transfer := tp.RTT(src.node.ID, dst.node.ID)/2 +
+		time.Duration(float64(stateKB*8)/float64(bw)*float64(time.Millisecond))
+	if err := src.StopPod(p, func() {
+		src.sim.Schedule(transfer, func() {
+			p.Spec.Node = dst.node.ID
+			p.Phase = PodPending
+			src.store.UpdatePod(p)
+			// A destination that filled up (or died) during the transfer
+			// leaves the pod Terminated — the controller layer re-creates
+			// it like any other lost replica.
+			if err := dst.RunPod(p, onRunning); err != nil {
+				p.Phase = PodTerminated
+				src.store.UpdatePod(p)
+			}
+		})
+	}); err != nil {
+		return 0, err
+	}
+	return src.StopLatency + transfer + dst.StartLatency, nil
+}

@@ -1,0 +1,93 @@
+package k8s
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/res"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// migTopo builds two single-worker clusters: workers 1 and 3.
+func migTopo() *topo.Topology {
+	b := topo.NewBuilder()
+	caps := []res.Vector{res.V(4000, 8192, 500)}
+	b.AddCluster(31.2, 121.5, res.V(8000, 16384, 1000), caps)
+	b.AddCluster(32.1, 118.8, res.V(8000, 16384, 1000), caps)
+	return b.Build()
+}
+
+func migSetup(t *testing.T) (*sim.Simulator, *Store, *topo.Topology, *Kubelet, *Kubelet, *Pod) {
+	t.Helper()
+	s := sim.New()
+	st := NewStore(s)
+	tp := migTopo()
+	src := NewKubelet(s, st, 1, res.V(4000, 8192, 500))
+	dst := NewKubelet(s, st, 3, res.V(4000, 8192, 500))
+	p, err := st.CreatePod(spec("svc", 1, res.V(1000, 512, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.RunPod(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(src.StartLatency + time.Millisecond)
+	if p.Phase != PodRunning {
+		t.Fatalf("setup: pod phase %s", p.Phase)
+	}
+	return s, st, tp, src, dst, p
+}
+
+func TestMigratePodMovesAcrossKubelets(t *testing.T) {
+	s, _, tp, src, dst, p := migSetup(t)
+	running := false
+	start := s.Now()
+	total, err := MigratePod(tp, src, dst, p, func() { running = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if !running || p.Phase != PodRunning || p.Spec.Node != 3 {
+		t.Fatalf("after migration: running=%v phase=%s node=%d", running, p.Phase, p.Spec.Node)
+	}
+	if got := s.Now() - start; got != total {
+		t.Fatalf("migration took %v, MigratePod predicted %v", got, total)
+	}
+	// The source released everything; the destination holds the pod.
+	if !src.Node().Reserved.IsZero() {
+		t.Fatalf("source still reserves %v", src.Node().Reserved)
+	}
+	if dst.Node().Reserved != p.Spec.Request {
+		t.Fatalf("destination reserves %v, want %v", dst.Node().Reserved, p.Spec.Request)
+	}
+	// Cost model: stop + half RTT + dirty-state serialization + start.
+	stateKB := p.Spec.Limit.MemoryMiB * 16
+	ser := time.Duration(float64(stateKB*8) / float64(tp.LinkBandwidth(1, 3)) * float64(time.Millisecond))
+	want := src.StopLatency + tp.RTT(1, 3)/2 + ser + dst.StartLatency
+	if total != want {
+		t.Fatalf("predicted %v, want %v", total, want)
+	}
+}
+
+func TestMigratePodRefusals(t *testing.T) {
+	_, _, tp, src, dst, p := migSetup(t)
+	if _, err := MigratePod(tp, src, src, p, nil); err == nil {
+		t.Fatal("self-migration accepted")
+	}
+	if _, err := MigratePod(tp, dst, src, p, nil); err == nil {
+		t.Fatal("migration from a kubelet that does not own the pod accepted")
+	}
+	tp.Net().Partition(0, 1)
+	if _, err := MigratePod(tp, src, dst, p, nil); err == nil {
+		t.Fatal("migration crossed a partitioned WAN link")
+	}
+	tp.Net().Heal(0, 1)
+	if _, err := MigratePod(tp, src, dst, p, nil); err != nil {
+		t.Fatalf("migration refused after heal: %v", err)
+	}
+	// Now Terminating: a second migration must be refused.
+	if _, err := MigratePod(tp, src, dst, p, nil); err == nil {
+		t.Fatal("double migration accepted")
+	}
+}

@@ -51,6 +51,12 @@ const (
 	// Topology faults.
 	EvNodeFail    // worker failure (Aux = displaced requests)
 	EvNodeRecover // worker recovery
+	// Chaos and migration (internal/chaos). Appended at the end of the
+	// enum so chaos-free runs keep their event numbering — and therefore
+	// their replay digests — unchanged.
+	EvChaos   // fault applied/cleared (Detail = fault kind, Aux = 1 apply / 0 clear)
+	EvMigrate // live migration departs (Node = source, Aux = destination, Value = transfer ms)
+	EvDefrag  // defragmentation pass (Value = pods moved, Aux = donor nodes)
 
 	kindCount // sentinel
 )
@@ -71,6 +77,9 @@ var kindNames = [kindCount]string{
 	EvPod:         "pod",
 	EvNodeFail:    "node-fail",
 	EvNodeRecover: "node-recover",
+	EvChaos:       "chaos",
+	EvMigrate:     "migrate",
+	EvDefrag:      "defrag",
 }
 
 // String returns the stable NDJSON name of the kind.

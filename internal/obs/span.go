@@ -42,6 +42,7 @@ const (
 	SpanReturn      = "return"  // worker → user response transit
 	SpanInterrupted = "interrupted"
 	SpanEvicted     = "evicted"
+	SpanMigrate     = "migrate" // live-migration transfer window
 	SpanDVPA        = "dvpa-resize"
 )
 

@@ -73,6 +73,11 @@ type Topology struct {
 	KmPerMsRTT float64
 	// WANBaseRTT is the floor RTT between distinct clusters.
 	WANBaseRTT time.Duration
+
+	// net is the lazily-created WAN fault overlay (see net.go); nil on a
+	// pristine topology, keeping healthy runs bit-identical to builds
+	// that predate the overlay.
+	net *NetOverlay
 }
 
 // Node returns the node with the given ID.
@@ -124,14 +129,16 @@ func (t *Topology) RTT(a, b NodeID) time.Duration {
 	return t.ClusterRTT(na.Cluster, nb.Cluster)
 }
 
-// ClusterRTT returns the WAN RTT between two clusters (LANRTT if equal).
+// ClusterRTT returns the WAN RTT between two clusters (LANRTT if
+// equal), after any fault-overlay adjustment: a severed link reads as
+// PartitionRTT, an RTT storm multiplies the healthy figure.
 func (t *Topology) ClusterRTT(a, b ClusterID) time.Duration {
 	if a == b {
 		return t.LANRTT
 	}
 	km := t.DistanceKm(a, b)
 	extra := time.Duration(km/t.KmPerMsRTT*float64(time.Millisecond) + 0.5)
-	return t.WANBaseRTT + extra
+	return t.wanAdjust(a, b, t.WANBaseRTT+extra)
 }
 
 // LinkBandwidth returns the transfer capacity between two nodes in Mbps.

@@ -127,6 +127,12 @@ const (
 	// Diurnal modulates both with a 24-hour day/night load curve plus
 	// noise — the Google-trace-like shape for the large-scale runs.
 	Diurnal
+	// Wavy superposes two sinusoids of different frequency (a Genny-style
+	// "wave" shape); the chaos injector uses it for flash-crowd bursts.
+	Wavy
+	// Normal follows a Gaussian bell over the periodic cycle: load ramps
+	// up to a mid-cycle peak and back down — one self-contained surge.
+	Normal
 )
 
 func (p Pattern) String() string {
@@ -139,6 +145,10 @@ func (p Pattern) String() string {
 		return "P3"
 	case Diurnal:
 		return "diurnal"
+	case Wavy:
+		return "wavy"
+	case Normal:
+		return "normal"
 	default:
 		return fmt.Sprintf("Pattern(%d)", int(p))
 	}
@@ -160,6 +170,13 @@ type GenConfig struct {
 	// PeriodicCycle is the cycle of the periodic component (P1/P2).
 	PeriodicCycle time.Duration
 	Seed          int64
+	// FirstID offsets the generated request IDs (default 0). Mid-run
+	// burst generators (chaos flash crowds) use a high base so burst IDs
+	// never collide with the main trace's.
+	FirstID int64
+	// Start offsets every arrival time (default 0), placing a generated
+	// burst at an absolute point of an already-running scenario.
+	Start time.Duration
 }
 
 // DefaultGenConfig returns a config sized like the physical-testbed
@@ -220,14 +237,14 @@ func Generate(cfg GenConfig) []Request {
 
 	lcTypes, beTypes := cfg.Catalog.LCTypes(), cfg.Catalog.BETypes()
 	var reqs []Request
-	var id int64
+	id := cfg.FirstID
 
 	// The generator walks 100 ms slots; in each slot it draws Poisson
 	// counts with a slot rate shaped by the pattern.
 	const slot = 100 * time.Millisecond
 	slots := int(cfg.Duration / slot)
 	for si := 0; si < slots; si++ {
-		at := time.Duration(si) * slot
+		at := cfg.Start + time.Duration(si)*slot
 		frac := float64(si) * slot.Seconds()
 		lcShape, beShape := shapes(cfg.Pattern, frac, cfg.PeriodicCycle.Seconds(), rng)
 		lcMean := cfg.LCRatePerSec * slot.Seconds() * lcShape
@@ -282,6 +299,21 @@ func shapes(p Pattern, t, cycle float64, rng *rand.Rand) (float64, float64) {
 		}
 		noise := 0.85 + 0.3*rng.Float64()
 		return base * noise, base * (0.85 + 0.3*rng.Float64())
+	case Wavy:
+		// Two superposed waves (3:1 frequency ratio) with light noise;
+		// clamped away from zero so a burst never goes fully silent.
+		w := 1 + 0.6*math.Sin(2*math.Pi*t/cycle) + 0.35*math.Sin(2*math.Pi*3*t/cycle+1)
+		if w < 0.05 {
+			w = 0.05
+		}
+		return w * (0.9 + 0.2*rng.Float64()), w * (0.9 + 0.2*rng.Float64())
+	case Normal:
+		// Gaussian bell centered mid-cycle (σ = cycle/6): one surge that
+		// ramps up and back down within the window.
+		mid, sigma := cycle/2, cycle/6
+		g := math.Exp(-(t - mid) * (t - mid) / (2 * sigma * sigma))
+		base := 0.1 + 1.7*g
+		return base * (0.9 + 0.2*rng.Float64()), base * (0.9 + 0.2*rng.Float64())
 	default:
 		panic(fmt.Sprintf("trace: unknown pattern %d", int(p)))
 	}

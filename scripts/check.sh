@@ -37,4 +37,7 @@ sh scripts/bench_smoke.sh
 echo "== telemetry smoke =="
 sh scripts/telemetry_smoke.sh
 
+echo "== chaos smoke =="
+sh scripts/chaos_smoke.sh
+
 echo "OK"
